@@ -1,0 +1,231 @@
+//! SFTL: Spatial-locality-aware FTL (Jiang et al., MSST 2011) — the
+//! condensed page-level baseline of the LeaFTL evaluation.
+//!
+//! SFTL keeps DFTL's translation-page organisation but condenses each
+//! cached translation page: a page's 512 entries collapse into its
+//! strictly sequential runs (consecutive LPAs mapped to consecutive
+//! PPAs), each run costing one 8-byte descriptor. Sequential workloads
+//! condense dramatically; random workloads degrade to one descriptor
+//! per entry — exactly the behaviour the paper contrasts LeaFTL
+//! against (LeaFTL additionally captures strided and irregular
+//! patterns).
+
+use leaftl_flash::{Lpa, Ppa};
+use leaftl_sim::lru::LruCache;
+use leaftl_sim::{MapCost, MappingLookup, MappingScheme};
+use std::collections::HashMap;
+
+/// Entries per translation page: 4 KB / 8 B.
+pub const ENTRIES_PER_TRANSLATION_PAGE: u64 = 512;
+/// Bytes per run descriptor.
+pub const RUN_BYTES: usize = 8;
+
+/// The SFTL mapping scheme.
+#[derive(Debug, Clone, Default)]
+pub struct Sftl {
+    /// Authoritative table (models the translation pages in flash).
+    flash_table: HashMap<Lpa, Ppa>,
+    /// Cached translation pages: page id → condensed byte size. The
+    /// mappings themselves are read through `flash_table`; the cache
+    /// models *which* pages are resident and how many bytes they cost.
+    resident: LruCache<u64, ()>,
+    budget: usize,
+    translation_pages: u64,
+}
+
+impl Sftl {
+    /// An empty SFTL instance (budget set by the simulator).
+    pub fn new() -> Self {
+        Sftl::default()
+    }
+
+    /// Total mapped pages.
+    pub fn mapped_pages(&self) -> usize {
+        self.flash_table.len()
+    }
+
+    fn page_of(lpa: Lpa) -> u64 {
+        lpa.raw() / ENTRIES_PER_TRANSLATION_PAGE
+    }
+
+    /// Condensed size of one translation page: number of strictly
+    /// sequential runs × 8 B. An empty page costs one descriptor
+    /// (the page header).
+    pub fn condensed_bytes(&self, page: u64) -> usize {
+        let base = page * ENTRIES_PER_TRANSLATION_PAGE;
+        let mut runs = 0usize;
+        let mut prev: Option<(u64, u64)> = None;
+        for offset in 0..ENTRIES_PER_TRANSLATION_PAGE {
+            let lpa = Lpa::new(base + offset);
+            let Some(&ppa) = self.flash_table.get(&lpa) else {
+                prev = None;
+                continue;
+            };
+            let extends = matches!(prev, Some((last_lpa, last_ppa))
+                if lpa.raw() == last_lpa + 1 && ppa.raw() == last_ppa + 1);
+            if !extends {
+                runs += 1;
+            }
+            prev = Some((lpa.raw(), ppa.raw()));
+        }
+        runs.max(1) * RUN_BYTES
+    }
+
+    /// Ensures a translation page is resident; returns the cost.
+    fn touch_page(&mut self, page: u64, dirty: bool) -> MapCost {
+        let mut cost = MapCost::FREE;
+        let bytes = self.condensed_bytes(page);
+        if self.resident.contains(&page) {
+            self.resident.get(&page); // promote
+            self.resident.resize(&page, bytes);
+            if dirty {
+                self.resident.mark_dirty(&page);
+            }
+        } else {
+            cost.translation_reads += 1;
+            self.resident.insert(page, (), bytes, dirty);
+        }
+        while self.resident.bytes() > self.budget {
+            match self.resident.pop_lru() {
+                Some((_, _, was_dirty)) => {
+                    if was_dirty {
+                        cost.translation_writes += 1;
+                    }
+                }
+                None => break,
+            }
+        }
+        cost
+    }
+}
+
+impl MappingScheme for Sftl {
+    fn name(&self) -> &'static str {
+        "SFTL"
+    }
+
+    fn update_batch(&mut self, pairs: &[(Lpa, Ppa)]) -> MapCost {
+        let mut cost = MapCost::FREE;
+        let mut touched: Option<u64> = None;
+        for &(lpa, ppa) in pairs {
+            self.translation_pages = self.translation_pages.max(Self::page_of(lpa) + 1);
+            self.flash_table.insert(lpa, ppa);
+            let page = Self::page_of(lpa);
+            if touched != Some(page) {
+                cost.add(self.touch_page(page, true));
+                touched = Some(page);
+            } else {
+                self.resident.resize(&page, self.condensed_bytes(page));
+                self.resident.mark_dirty(&page);
+            }
+        }
+        cost
+    }
+
+    fn lookup(&mut self, lpa: Lpa) -> (Option<MappingLookup>, MapCost) {
+        let Some(&ppa) = self.flash_table.get(&lpa) else {
+            return (None, MapCost::FREE);
+        };
+        let cost = self.touch_page(Self::page_of(lpa), false);
+        (Some(MappingLookup::exact(ppa)), cost)
+    }
+
+    fn memory_bytes(&self) -> usize {
+        self.resident.bytes() + self.translation_pages as usize * 8
+    }
+
+    fn set_memory_budget(&mut self, bytes: usize) {
+        self.budget = bytes.max(RUN_BYTES);
+    }
+
+    fn maintain(&mut self) -> (MapCost, bool) {
+        (MapCost::FREE, false)
+    }
+
+    fn snapshot_bytes(&self) -> usize {
+        self.translation_pages as usize * 8
+    }
+}
+
+/// The condensed size SFTL would need to hold *everything* in DRAM —
+/// used by the memory-footprint comparison (Fig. 15), independent of
+/// the cache budget.
+pub fn sftl_full_table_bytes(sftl: &Sftl) -> usize {
+    (0..sftl.translation_pages)
+        .map(|page| sftl.condensed_bytes(page))
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn batch(lpa0: u64, ppa0: u64, n: u64) -> Vec<(Lpa, Ppa)> {
+        (0..n).map(|i| (Lpa::new(lpa0 + i), Ppa::new(ppa0 + i))).collect()
+    }
+
+    #[test]
+    fn sequential_page_condenses_to_one_run() {
+        let mut sftl = Sftl::new();
+        sftl.set_memory_budget(1 << 20);
+        sftl.update_batch(&batch(0, 1000, 512));
+        assert_eq!(sftl.condensed_bytes(0), RUN_BYTES);
+        assert_eq!(sftl_full_table_bytes(&sftl), RUN_BYTES);
+    }
+
+    #[test]
+    fn random_page_degrades_to_per_entry_runs() {
+        let mut sftl = Sftl::new();
+        sftl.set_memory_budget(1 << 20);
+        // Every other LPA: no two entries are sequential.
+        for i in 0..256u64 {
+            sftl.update_batch(&[(Lpa::new(i * 2), Ppa::new(5000 + i))]);
+        }
+        assert_eq!(sftl.condensed_bytes(0), 256 * RUN_BYTES);
+    }
+
+    #[test]
+    fn lookup_roundtrip_and_costs() {
+        let mut sftl = Sftl::new();
+        sftl.set_memory_budget(1 << 20);
+        sftl.update_batch(&batch(0, 100, 8));
+        let (hit, cost) = sftl.lookup(Lpa::new(3));
+        assert_eq!(hit.unwrap().ppa, Ppa::new(103));
+        assert_eq!(cost, MapCost::FREE); // page already resident
+        assert!(sftl.lookup(Lpa::new(99)).0.is_none());
+    }
+
+    #[test]
+    fn eviction_and_refetch() {
+        let mut sftl = Sftl::new();
+        sftl.set_memory_budget(RUN_BYTES); // one run fits
+        sftl.update_batch(&batch(0, 100, 4)); // page 0 resident, dirty
+        let cost = sftl.update_batch(&batch(512, 200, 4)); // page 1
+        // Page 0 evicted dirty.
+        assert_eq!(cost.translation_writes, 1);
+        // Re-touching page 0 misses.
+        let (_, cost) = sftl.lookup(Lpa::new(0));
+        assert_eq!(cost.translation_reads, 1);
+    }
+
+    #[test]
+    fn overwrite_breaks_runs() {
+        let mut sftl = Sftl::new();
+        sftl.set_memory_budget(1 << 20);
+        sftl.update_batch(&batch(0, 1000, 512));
+        assert_eq!(sftl.condensed_bytes(0), RUN_BYTES);
+        // Rewrite one LPA in the middle to a far PPA: run splits in 3.
+        sftl.update_batch(&[(Lpa::new(100), Ppa::new(9000))]);
+        assert_eq!(sftl.condensed_bytes(0), 3 * RUN_BYTES);
+    }
+
+    #[test]
+    fn gap_breaks_runs() {
+        let mut sftl = Sftl::new();
+        sftl.set_memory_budget(1 << 20);
+        sftl.update_batch(&batch(0, 1000, 10));
+        sftl.update_batch(&batch(20, 1010, 10));
+        // Two runs (gap at LPAs 10..19) even though PPAs continue.
+        assert_eq!(sftl.condensed_bytes(0), 2 * RUN_BYTES);
+    }
+}

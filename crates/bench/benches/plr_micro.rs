@@ -1,0 +1,56 @@
+//! Micro-benchmarks of the greedy PLR fitter on the pattern classes of
+//! Fig. 1: sequential, strided, and irregular batches.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use leaftl_core::plr;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::hint::black_box;
+
+fn sequential(n: usize) -> Vec<(u8, u64)> {
+    (0..n).map(|i| (i as u8, 5_000 + i as u64)).collect()
+}
+
+fn strided(stride: usize) -> Vec<(u8, u64)> {
+    (0..256 / stride)
+        .map(|i| ((i * stride) as u8, 9_000 + i as u64))
+        .collect()
+}
+
+fn irregular(seed: u64) -> Vec<(u8, u64)> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut out = Vec::new();
+    let mut x = 0u64;
+    let mut y = 40_000u64;
+    while x <= 255 {
+        out.push((x as u8, y));
+        x += 1 + rng.gen_range(0..3);
+        y += 1;
+    }
+    out
+}
+
+fn bench_fit(c: &mut Criterion) {
+    let mut group = c.benchmark_group("plr_fit");
+    let cases: Vec<(&str, Vec<(u8, u64)>)> = vec![
+        ("sequential_256", sequential(256)),
+        ("strided_4", strided(4)),
+        ("irregular", irregular(3)),
+    ];
+    for (name, points) in &cases {
+        group.throughput(Throughput::Elements(points.len() as u64));
+        for gamma in [0u32, 4] {
+            group.bench_with_input(
+                BenchmarkId::new(*name, gamma),
+                &(points, gamma),
+                |b, (points, gamma)| {
+                    b.iter(|| black_box(plr::fit(black_box(points), *gamma)));
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fit);
+criterion_main!(benches);

@@ -1,0 +1,364 @@
+//! Shared experiment infrastructure: scheme dispatch, standard device
+//! scales, warm-up, and table printing.
+
+use leaftl_baselines::{sftl_full_table_bytes, Dftl, Sftl};
+use leaftl_core::{LeaFtlConfig, TableStats};
+use leaftl_sim::{
+    replay, DramPolicy, HostOp, LeaFtlScheme, ReplayReport, SimStats, Ssd, SsdConfig,
+};
+use leaftl_workloads::{warmup_ops, ProfileParams};
+use serde::Serialize;
+
+/// Which FTL scheme an experiment runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SchemeKind {
+    /// Demand-based page-level baseline.
+    Dftl,
+    /// Run-length condensed baseline.
+    Sftl,
+    /// The learned FTL with error bound γ.
+    LeaFtl { gamma: u32 },
+}
+
+impl SchemeKind {
+    pub fn label(&self) -> String {
+        match self {
+            SchemeKind::Dftl => "DFTL".to_string(),
+            SchemeKind::Sftl => "SFTL".to_string(),
+            SchemeKind::LeaFtl { gamma: 0 } => "LeaFTL".to_string(),
+            SchemeKind::LeaFtl { gamma } => format!("LeaFTL(γ={gamma})"),
+        }
+    }
+
+    pub fn gamma(&self) -> u32 {
+        match self {
+            SchemeKind::LeaFtl { gamma } => *gamma,
+            _ => 0,
+        }
+    }
+}
+
+/// A simulated SSD with its scheme type erased for experiment loops.
+pub enum AnySsd {
+    Dftl(Ssd<Dftl>),
+    Sftl(Ssd<Sftl>),
+    Lea(Ssd<LeaFtlScheme>),
+}
+
+impl AnySsd {
+    pub fn build(kind: SchemeKind, mut config: SsdConfig) -> AnySsd {
+        config.gamma = kind.gamma();
+        // γ=16 needs 33 reverse-mapping entries; use the larger OOB
+        // variant the paper mentions (128–256 B, §3.5).
+        if config.gamma > config.geometry.max_gamma() {
+            config.geometry.oob_size = 256;
+        }
+        match kind {
+            SchemeKind::Dftl => AnySsd::Dftl(Ssd::new(config, Dftl::new())),
+            SchemeKind::Sftl => AnySsd::Sftl(Ssd::new(config, Sftl::new())),
+            SchemeKind::LeaFtl { gamma } => {
+                let scheme = LeaFtlScheme::new(
+                    LeaFtlConfig::default()
+                        .with_gamma(gamma)
+                        .with_compaction_interval(config.compaction_interval_writes),
+                );
+                AnySsd::Lea(Ssd::new(config, scheme))
+            }
+        }
+    }
+
+    pub fn replay<I: IntoIterator<Item = HostOp>>(&mut self, ops: I) -> ReplayReport {
+        match self {
+            AnySsd::Dftl(ssd) => replay(ssd, ops).expect("replay"),
+            AnySsd::Sftl(ssd) => replay(ssd, ops).expect("replay"),
+            AnySsd::Lea(ssd) => replay(ssd, ops).expect("replay"),
+        }
+    }
+
+    pub fn flush(&mut self) {
+        match self {
+            AnySsd::Dftl(ssd) => ssd.flush().expect("flush"),
+            AnySsd::Sftl(ssd) => ssd.flush().expect("flush"),
+            AnySsd::Lea(ssd) => ssd.flush().expect("flush"),
+        }
+    }
+
+    pub fn reset_stats(&mut self) {
+        match self {
+            AnySsd::Dftl(ssd) => ssd.reset_stats(),
+            AnySsd::Sftl(ssd) => ssd.reset_stats(),
+            AnySsd::Lea(ssd) => ssd.reset_stats(),
+        }
+    }
+
+    pub fn stats(&self) -> &SimStats {
+        match self {
+            AnySsd::Dftl(ssd) => ssd.stats(),
+            AnySsd::Sftl(ssd) => ssd.stats(),
+            AnySsd::Lea(ssd) => ssd.stats(),
+        }
+    }
+
+    /// Current DRAM consumption of the mapping structures.
+    pub fn mapping_bytes(&self) -> usize {
+        match self {
+            AnySsd::Dftl(ssd) => ssd.mapping_bytes(),
+            AnySsd::Sftl(ssd) => ssd.mapping_bytes(),
+            AnySsd::Lea(ssd) => ssd.mapping_bytes(),
+        }
+    }
+
+    /// Bytes the scheme would need to hold its *entire* mapping state in
+    /// DRAM — the Fig. 15/19 footprint metric, independent of caching.
+    /// For LeaFTL the table is compacted first: DFTL/SFTL tables carry
+    /// no stale entries by construction, so the comparable LeaFTL
+    /// figure is the reclaimable (shadow-free) size.
+    pub fn full_mapping_bytes(&self) -> usize {
+        match self {
+            AnySsd::Dftl(ssd) => ssd.scheme().full_table_bytes(),
+            AnySsd::Sftl(ssd) => sftl_full_table_bytes(ssd.scheme()),
+            AnySsd::Lea(ssd) => {
+                let mut table = ssd.scheme().table().clone();
+                table.compact();
+                table.memory_bytes().total()
+            }
+        }
+    }
+
+    /// Compacted learned-table stats (None for the baselines).
+    pub fn compacted_table_stats(&self) -> Option<TableStats> {
+        match self {
+            AnySsd::Lea(ssd) => {
+                let mut table = ssd.scheme().table().clone();
+                table.compact();
+                Some(table.stats())
+            }
+            _ => None,
+        }
+    }
+
+    /// Learned-table structure snapshot (LeaFTL only).
+    pub fn table_stats(&self) -> Option<TableStats> {
+        match self {
+            AnySsd::Lea(ssd) => Some(ssd.scheme().table_stats()),
+            _ => None,
+        }
+    }
+}
+
+/// Standard experiment scales. `quick` shrinks everything for smoke
+/// runs (CI); full scale is the default for reported numbers.
+#[derive(Debug, Clone, Copy)]
+pub struct Scale {
+    /// Device capacity in bytes.
+    pub capacity: u64,
+    /// Controller DRAM in bytes.
+    pub dram: usize,
+    /// Write buffer in pages.
+    pub buffer_pages: usize,
+    /// Flush stripe chunk in pages.
+    pub stripe_pages: u32,
+    /// Fraction of logical space sequentially pre-filled before
+    /// measurement.
+    pub prefill: f64,
+    /// Profile ops replayed for warm-up (stats reset afterwards).
+    pub warm_ops: usize,
+    /// Profile ops measured.
+    pub ops: usize,
+    /// Learned-table compaction interval in writes (paper: 1 M at 2 TB;
+    /// scaled with the device).
+    pub compaction_interval: u64,
+}
+
+impl Scale {
+    /// Scale for performance experiments: small device so GC and DRAM
+    /// pressure are active, DRAM at 2× the paper's per-capacity ratio.
+    pub fn perf(quick: bool) -> Scale {
+        if quick {
+            Scale {
+                capacity: 512 << 20,
+                dram: 96 << 10,
+                buffer_pages: 128,
+                stripe_pages: 32,
+                prefill: 0.75,
+                warm_ops: 2_000,
+                ops: 10_000,
+                compaction_interval: 2_000,
+            }
+        } else {
+            Scale {
+                capacity: 2 << 30,
+                dram: 320 << 10,
+                buffer_pages: 256,
+                stripe_pages: 32,
+                prefill: 0.8,
+                warm_ops: 15_000,
+                ops: 60_000,
+                compaction_interval: 15_000,
+            }
+        }
+    }
+
+    /// Scale for memory/structure experiments: larger space, generous
+    /// DRAM (no demand-paging noise), no prefill (footprint reflects
+    /// the workload's own writes).
+    pub fn memory(quick: bool) -> Scale {
+        if quick {
+            Scale {
+                capacity: 1 << 30,
+                dram: 64 << 20,
+                buffer_pages: 512,
+                stripe_pages: 256,
+                prefill: 0.0,
+                warm_ops: 0,
+                ops: 30_000,
+                compaction_interval: 2_000,
+            }
+        } else {
+            Scale {
+                capacity: 8 << 30,
+                dram: 256 << 20,
+                buffer_pages: 2048,
+                stripe_pages: 256,
+                prefill: 0.0,
+                warm_ops: 0,
+                ops: 120_000,
+                compaction_interval: 10_000,
+            }
+        }
+    }
+
+    /// Builds the simulator config for this scale.
+    pub fn config(&self, policy: DramPolicy) -> SsdConfig {
+        let mut config = SsdConfig::scaled(self.capacity);
+        config.dram_bytes = self.dram;
+        config.write_buffer_pages = self.buffer_pages;
+        config.stripe_pages = self.stripe_pages;
+        config.dram_policy = policy;
+        config.compaction_interval_writes = self.compaction_interval;
+        config
+    }
+}
+
+/// Deterministic experiment seed.
+pub const SEED: u64 = 0x1ea_f71;
+
+/// Outcome of one (workload, scheme) run.
+#[derive(Debug, Clone, Serialize)]
+pub struct RunOutcome {
+    pub workload: String,
+    pub scheme: String,
+    pub mean_latency_us: f64,
+    pub read_latency_us: f64,
+    pub write_latency_us: f64,
+    pub mapping_bytes: usize,
+    pub full_mapping_bytes: usize,
+    pub cache_hit_ratio: f64,
+    pub misprediction_ratio: f64,
+    pub waf: f64,
+    #[serde(skip)]
+    pub stats: SimStats,
+}
+
+/// Runs one workload on one scheme at the given scale: prefill →
+/// profile warm-up → stats reset → measured replay.
+pub fn run_workload(
+    kind: SchemeKind,
+    profile: &ProfileParams,
+    scale: &Scale,
+    policy: DramPolicy,
+) -> RunOutcome {
+    let config = scale.config(policy);
+    run_workload_with_config(kind, profile, scale, config)
+}
+
+/// Like [`run_workload`] but with a fully custom device config
+/// (sensitivity studies that vary page size, DRAM, etc.).
+pub fn run_workload_with_config(
+    kind: SchemeKind,
+    profile: &ProfileParams,
+    scale: &Scale,
+    config: SsdConfig,
+) -> RunOutcome {
+    let logical = config.logical_pages();
+    let mut ssd = AnySsd::build(kind, config);
+    if scale.prefill > 0.0 {
+        ssd.replay(warmup_ops(logical, scale.prefill));
+    }
+    if scale.warm_ops > 0 {
+        ssd.replay(profile.generate(logical, scale.warm_ops, SEED ^ 0xbeef));
+    }
+    ssd.flush();
+    ssd.reset_stats();
+    let report = ssd.replay(profile.generate(logical, scale.ops, SEED));
+    let stats = ssd.stats().clone();
+    RunOutcome {
+        workload: profile.name.clone(),
+        scheme: kind.label(),
+        mean_latency_us: report.mean_latency_us(),
+        read_latency_us: report.mean_read_latency_us(),
+        write_latency_us: report.mean_write_latency_us(),
+        mapping_bytes: ssd.mapping_bytes(),
+        full_mapping_bytes: ssd.full_mapping_bytes(),
+        cache_hit_ratio: stats.cache_hit_ratio(),
+        misprediction_ratio: stats.misprediction_ratio(),
+        waf: stats.waf(),
+        stats,
+    }
+}
+
+/// Builds a mapping table by replaying only the workload's writes (the
+/// offline structure studies: Figs. 5/10/12). Returns the SSD for
+/// table-stats inspection.
+pub fn build_mapping_state(
+    kind: SchemeKind,
+    profile: &ProfileParams,
+    scale: &Scale,
+) -> AnySsd {
+    let config = scale.config(DramPolicy::MappingFirst);
+    let logical = config.logical_pages();
+    let mut ssd = AnySsd::build(kind, config);
+    let writes = profile
+        .generate(logical, scale.ops, SEED)
+        .into_iter()
+        .filter(|op| !op.is_read());
+    ssd.replay(writes);
+    ssd.flush();
+    ssd
+}
+
+/// Prints an aligned text table.
+pub fn print_table(title: &str, headers: &[&str], rows: &[Vec<String>]) {
+    println!("\n=== {title} ===");
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let line = |cells: Vec<String>| {
+        let mut out = String::new();
+        for (i, cell) in cells.iter().enumerate() {
+            out.push_str(&format!("{:<width$}  ", cell, width = widths[i]));
+        }
+        println!("{}", out.trim_end());
+    };
+    line(headers.iter().map(|h| h.to_string()).collect());
+    line(widths.iter().map(|w| "-".repeat(*w)).collect());
+    for row in rows {
+        line(row.clone());
+    }
+}
+
+/// Formats a byte count human-readably.
+pub fn fmt_bytes(bytes: usize) -> String {
+    if bytes >= 1 << 20 {
+        format!("{:.2} MiB", bytes as f64 / (1 << 20) as f64)
+    } else if bytes >= 1 << 10 {
+        format!("{:.1} KiB", bytes as f64 / 1024.0)
+    } else {
+        format!("{bytes} B")
+    }
+}

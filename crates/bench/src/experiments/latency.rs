@@ -1,0 +1,132 @@
+//! Latency-distribution and lookup-overhead studies: Figs. 18 and 23.
+
+use crate::common::{print_table, run_workload, Scale, SchemeKind};
+use leaftl_sim::DramPolicy;
+use leaftl_workloads::{app_suite, block_trace_suite, oltp};
+use serde_json::{json, Value};
+
+/// Fig. 18: read-latency distribution of the OLTP workload under the
+/// three schemes (percentile table standing in for the CDF plot).
+pub fn fig18(quick: bool) -> Value {
+    let scale = Scale::perf(quick);
+    let profile = oltp();
+    let percentiles = [0.0, 30.0, 60.0, 90.0, 99.0, 99.9];
+    let mut rows = Vec::new();
+    let mut out = Vec::new();
+    for kind in [
+        SchemeKind::Dftl,
+        SchemeKind::Sftl,
+        SchemeKind::LeaFtl { gamma: 0 },
+    ] {
+        let r = run_workload(kind, &profile, &scale, DramPolicy::DataFloor(0.2));
+        let values: Vec<f64> = percentiles
+            .iter()
+            .map(|&p| r.stats.read_latency.percentile_ns(p) as f64 / 1000.0)
+            .collect();
+        rows.push(
+            std::iter::once(kind.label())
+                .chain(values.iter().map(|v| format!("{v:.1}")))
+                .collect::<Vec<String>>(),
+        );
+        out.push(json!({
+            "scheme": kind.label(),
+            "percentiles": percentiles,
+            "latency_us": values,
+            "cdf": r.stats.read_latency.cdf_points(),
+        }));
+    }
+    print_table(
+        "Fig. 18: OLTP read-latency percentiles in µs (paper: LeaFTL no worse tail, lower body)",
+        &["scheme", "p0", "p30", "p60", "p90", "p99", "p99.9"],
+        &rows,
+    );
+    json!({ "experiment": "fig18", "series": out })
+}
+
+/// Fig. 23a: CDF of levels visited per lookup for the block traces.
+pub fn fig23a(quick: bool) -> Value {
+    let scale = Scale::perf(quick);
+    let mut rows = Vec::new();
+    let mut out = Vec::new();
+    for profile in block_trace_suite() {
+        let r = run_workload(
+            SchemeKind::LeaFtl { gamma: 0 },
+            &profile,
+            &scale,
+            DramPolicy::DataFloor(0.2),
+        );
+        let hist = &r.stats.lookup_level_histogram;
+        let total: u64 = hist.iter().sum();
+        let share_at = |target: f64| -> usize {
+            let mut seen = 0u64;
+            for (idx, &n) in hist.iter().enumerate() {
+                seen += n;
+                if seen as f64 >= target * total as f64 {
+                    return idx + 1;
+                }
+            }
+            hist.len()
+        };
+        rows.push(vec![
+            profile.name.clone(),
+            format!("{:.2}", r.stats.avg_lookup_levels()),
+            format!("{}", share_at(0.90)),
+            format!("{}", share_at(0.99)),
+            format!("{}", share_at(0.9999)),
+        ]);
+        out.push(json!({
+            "workload": profile.name,
+            "avg_levels": r.stats.avg_lookup_levels(),
+            "levels_p90": share_at(0.90),
+            "levels_p99": share_at(0.99),
+            "levels_p9999": share_at(0.9999),
+            "histogram": hist,
+        }));
+    }
+    print_table(
+        "Fig. 23a: levels visited per lookup (paper: 90% at top level, 99% within 10)",
+        &["workload", "avg", "p90", "p99", "p99.99"],
+        &rows,
+    );
+    json!({ "experiment": "fig23a", "series": out })
+}
+
+/// Fig. 23b: LPA-lookup CPU overhead as a fraction of the flash access
+/// it precedes, for the application workloads.
+pub fn fig23b(quick: bool) -> Value {
+    let scale = Scale::perf(quick);
+    let mut rows = Vec::new();
+    let mut out = Vec::new();
+    for profile in app_suite() {
+        let r = run_workload(
+            SchemeKind::LeaFtl { gamma: 0 },
+            &profile,
+            &scale,
+            DramPolicy::DataFloor(0.2),
+        );
+        let lookups = r.stats.lookups.max(1);
+        let avg_lookup_ns = r.stats.lookup_cpu_ns as f64 / lookups as f64;
+        let read_ns = 20_000.0; // Table 1 flash read
+        let avg_pct = avg_lookup_ns / read_ns * 100.0;
+        let worst_levels = r.stats.lookup_level_histogram.len().max(1) as f64;
+        let worst_pct = (40.0 + 10.0 * (worst_levels - 1.0)) / read_ns * 100.0;
+        rows.push(vec![
+            profile.name.clone(),
+            format!("{avg_lookup_ns:.0} ns"),
+            format!("{avg_pct:.3}%"),
+            format!("{worst_pct:.3}%"),
+        ]);
+        out.push(json!({
+            "workload": profile.name,
+            "avg_lookup_ns": avg_lookup_ns,
+            "avg_overhead_pct": avg_pct,
+            "worst_overhead_pct": worst_pct,
+        }));
+    }
+    print_table(
+        "Fig. 23b: lookup overhead vs flash read (paper: 0.21% average, <1% at p99.99)",
+        &["workload", "avg lookup", "avg overhead", "worst overhead"],
+        &rows,
+    );
+    json!({ "experiment": "fig23b", "series": out })
+}

@@ -1,0 +1,112 @@
+//! Memory-footprint comparisons: Figs. 15 and 19.
+
+use crate::common::{build_mapping_state, fmt_bytes, print_table, Scale, SchemeKind};
+use leaftl_workloads::{block_trace_suite, full_suite};
+use serde_json::{json, Value};
+
+/// Fig. 15: mapping-table size reduction of LeaFTL (γ=0) vs DFTL and
+/// SFTL per block workload.
+pub fn fig15(quick: bool) -> Value {
+    let scale = Scale::memory(quick);
+    let mut rows = Vec::new();
+    let mut out = Vec::new();
+    for profile in block_trace_suite() {
+        let lea = build_mapping_state(SchemeKind::LeaFtl { gamma: 0 }, &profile, &scale);
+        let dftl = build_mapping_state(SchemeKind::Dftl, &profile, &scale);
+        let sftl = build_mapping_state(SchemeKind::Sftl, &profile, &scale);
+        let lea_bytes = lea.full_mapping_bytes().max(1);
+        let dftl_bytes = dftl.full_mapping_bytes();
+        let sftl_bytes = sftl.full_mapping_bytes();
+        let vs_dftl = dftl_bytes as f64 / lea_bytes as f64;
+        let vs_sftl = sftl_bytes as f64 / lea_bytes as f64;
+        rows.push(vec![
+            profile.name.clone(),
+            fmt_bytes(dftl_bytes),
+            fmt_bytes(sftl_bytes),
+            fmt_bytes(lea_bytes),
+            format!("{vs_dftl:.1}x"),
+            format!("{vs_sftl:.1}x"),
+        ]);
+        out.push(json!({
+            "workload": profile.name,
+            "dftl_bytes": dftl_bytes,
+            "sftl_bytes": sftl_bytes,
+            "leaftl_bytes": lea_bytes,
+            "reduction_vs_dftl": vs_dftl,
+            "reduction_vs_sftl": vs_sftl,
+        }));
+    }
+    let avg_dftl: f64 = out
+        .iter()
+        .map(|v| v["reduction_vs_dftl"].as_f64().unwrap())
+        .sum::<f64>()
+        / out.len() as f64;
+    let avg_sftl: f64 = out
+        .iter()
+        .map(|v| v["reduction_vs_sftl"].as_f64().unwrap())
+        .sum::<f64>()
+        / out.len() as f64;
+    print_table(
+        "Fig. 15: mapping-table footprint — paper: 7.5–37.7x vs DFTL, 2.9x avg vs SFTL",
+        &["workload", "DFTL", "SFTL", "LeaFTL", "vs DFTL", "vs SFTL"],
+        &rows,
+    );
+    println!("average reduction: {avg_dftl:.1}x vs DFTL, {avg_sftl:.1}x vs SFTL");
+    json!({
+        "experiment": "fig15",
+        "series": out,
+        "avg_reduction_vs_dftl": avg_dftl,
+        "avg_reduction_vs_sftl": avg_sftl,
+    })
+}
+
+/// Fig. 19: LeaFTL mapping-table size as γ grows (normalised to γ=0,
+/// lower is better), across all 12 workloads.
+pub fn fig19(quick: bool) -> Value {
+    let mut scale = Scale::memory(quick);
+    // Use a denser scale than Fig. 15: γ's merging opportunities depend
+    // on how many batch points land per 256-LPA group; an 8 GiB span
+    // with 10⁵ ops leaves mostly singletons, which no error bound can
+    // merge (the paper's traces have burst locality instead).
+    if !quick {
+        scale.capacity = 2 << 30;
+    }
+    let gammas = [0u32, 1, 4, 16];
+    let mut rows = Vec::new();
+    let mut out = Vec::new();
+    for profile in full_suite() {
+        let mut sizes = Vec::new();
+        for &gamma in &gammas {
+            let ssd = build_mapping_state(SchemeKind::LeaFtl { gamma }, &profile, &scale);
+            sizes.push(ssd.full_mapping_bytes());
+        }
+        let base = sizes[0].max(1) as f64;
+        let normalized: Vec<f64> = sizes.iter().map(|&s| s as f64 / base).collect();
+        rows.push(
+            std::iter::once(profile.name.clone())
+                .chain(normalized.iter().map(|n| format!("{n:.2}")))
+                .collect::<Vec<String>>(),
+        );
+        out.push(json!({
+            "workload": profile.name,
+            "gammas": gammas,
+            "bytes": sizes,
+            "normalized": normalized,
+        }));
+    }
+    let avg16: f64 = out
+        .iter()
+        .map(|v| v["normalized"][3].as_f64().unwrap())
+        .sum::<f64>()
+        / out.len() as f64;
+    print_table(
+        "Fig. 19: mapping size vs γ (normalised to γ=0) — paper: ~1.3x further reduction at γ=16",
+        &["workload", "γ=0", "γ=1", "γ=4", "γ=16"],
+        &rows,
+    );
+    println!(
+        "average γ=16 size = {avg16:.2} of γ=0 ({:.2}x reduction)",
+        1.0 / avg16
+    );
+    json!({ "experiment": "fig19", "series": out, "avg_gamma16_normalized": avg16 })
+}

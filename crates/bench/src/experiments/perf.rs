@@ -1,0 +1,156 @@
+//! End-to-end performance comparisons: Figs. 16, 17 and 21.
+
+use crate::common::{print_table, run_workload, Scale, SchemeKind};
+use leaftl_sim::DramPolicy;
+use leaftl_workloads::{app_suite, block_trace_suite, full_suite, ProfileParams};
+use serde_json::{json, Value};
+
+const SCHEMES: [SchemeKind; 3] = [
+    SchemeKind::Dftl,
+    SchemeKind::Sftl,
+    SchemeKind::LeaFtl { gamma: 0 },
+];
+
+/// Runs the three schemes on a workload set and prints latencies
+/// normalised to DFTL (the paper's presentation; lower is better).
+fn compare_schemes(
+    title: &str,
+    profiles: &[ProfileParams],
+    scale: &Scale,
+    policy: DramPolicy,
+) -> Vec<Value> {
+    let mut rows = Vec::new();
+    let mut out = Vec::new();
+    for profile in profiles {
+        let results: Vec<_> = SCHEMES
+            .iter()
+            .map(|&kind| run_workload(kind, profile, scale, policy))
+            .collect();
+        let base = results[0].mean_latency_us.max(1e-9);
+        let mut row = vec![profile.name.clone()];
+        for r in &results {
+            row.push(format!(
+                "{:.2} ({:.1}µs)",
+                r.mean_latency_us / base,
+                r.mean_latency_us
+            ));
+        }
+        row.push(format!(
+            "{:.0}%/{:.0}%/{:.0}%",
+            results[0].cache_hit_ratio * 100.0,
+            results[1].cache_hit_ratio * 100.0,
+            results[2].cache_hit_ratio * 100.0
+        ));
+        rows.push(row);
+        out.push(json!({
+            "workload": profile.name,
+            "schemes": results.iter().map(|r| &r.scheme).collect::<Vec<_>>(),
+            "mean_latency_us": results.iter().map(|r| r.mean_latency_us).collect::<Vec<_>>(),
+            "normalized_to_dftl": results
+                .iter()
+                .map(|r| r.mean_latency_us / base)
+                .collect::<Vec<_>>(),
+            "cache_hit_ratio": results.iter().map(|r| r.cache_hit_ratio).collect::<Vec<_>>(),
+            "mapping_bytes": results.iter().map(|r| r.mapping_bytes).collect::<Vec<_>>(),
+        }));
+    }
+    print_table(
+        title,
+        &["workload", "DFTL", "SFTL", "LeaFTL", "cache hits D/S/L"],
+        &rows,
+    );
+    let speedup_vs_sftl: f64 = out
+        .iter()
+        .map(|v| {
+            v["mean_latency_us"][1].as_f64().unwrap()
+                / v["mean_latency_us"][2].as_f64().unwrap().max(1e-9)
+        })
+        .sum::<f64>()
+        / out.len() as f64;
+    println!("average LeaFTL speedup vs SFTL: {speedup_vs_sftl:.2}x");
+    out
+}
+
+/// Fig. 16a: DRAM devoted primarily to the mapping table.
+pub fn fig16a(quick: bool) -> Value {
+    let scale = Scale::perf(quick);
+    let series = compare_schemes(
+        "Fig. 16a: normalised latency, DRAM mainly for mapping (paper: LeaFTL 1.6x faster than SFTL avg)",
+        &block_trace_suite(),
+        &scale,
+        DramPolicy::MappingFirst,
+    );
+    json!({ "experiment": "fig16a", "series": series })
+}
+
+/// Fig. 16b: at least 20 % of DRAM reserved for the data cache.
+pub fn fig16b(quick: bool) -> Value {
+    let scale = Scale::perf(quick);
+    let series = compare_schemes(
+        "Fig. 16b: normalised latency, ≥20% DRAM for data cache (paper: LeaFTL 1.4x/1.6x vs SFTL/DFTL)",
+        &block_trace_suite(),
+        &scale,
+        DramPolicy::DataFloor(0.2),
+    );
+    json!({ "experiment": "fig16b", "series": series })
+}
+
+/// Fig. 17: the application suite (the paper's real-SSD validation,
+/// here on the simulator substrate — see DESIGN.md §6).
+pub fn fig17(quick: bool) -> Value {
+    let scale = Scale::perf(quick);
+    let series = compare_schemes(
+        "Fig. 17: application workloads (paper: LeaFTL 1.4x average speedup)",
+        &app_suite(),
+        &scale,
+        DramPolicy::DataFloor(0.2),
+    );
+    json!({ "experiment": "fig17", "series": series })
+}
+
+/// Fig. 21: LeaFTL performance as γ grows (normalised to γ=0).
+pub fn fig21(quick: bool) -> Value {
+    let scale = Scale::perf(quick);
+    let gammas = [0u32, 1, 4, 16];
+    let mut rows = Vec::new();
+    let mut out = Vec::new();
+    for profile in full_suite() {
+        let results: Vec<_> = gammas
+            .iter()
+            .map(|&gamma| {
+                run_workload(
+                    SchemeKind::LeaFtl { gamma },
+                    &profile,
+                    &scale,
+                    DramPolicy::DataFloor(0.2),
+                )
+            })
+            .collect();
+        let base = results[0].mean_latency_us.max(1e-9);
+        rows.push(
+            std::iter::once(profile.name.clone())
+                .chain(
+                    results
+                        .iter()
+                        .map(|r| format!("{:.2}", r.mean_latency_us / base)),
+                )
+                .collect::<Vec<String>>(),
+        );
+        out.push(json!({
+            "workload": profile.name,
+            "gammas": gammas,
+            "mean_latency_us": results.iter().map(|r| r.mean_latency_us).collect::<Vec<_>>(),
+            "normalized": results
+                .iter()
+                .map(|r| r.mean_latency_us / base)
+                .collect::<Vec<_>>(),
+            "mapping_bytes": results.iter().map(|r| r.mapping_bytes).collect::<Vec<_>>(),
+        }));
+    }
+    print_table(
+        "Fig. 21: latency vs γ, normalised to γ=0 (paper: up to 1.3x improvement at γ=16)",
+        &["workload", "γ=0", "γ=1", "γ=4", "γ=16"],
+        &rows,
+    );
+    json!({ "experiment": "fig21", "series": out })
+}

@@ -1,0 +1,100 @@
+//! Sensitivity studies: Fig. 22 (DRAM capacity and flash page size).
+
+use crate::common::{print_table, run_workload_with_config, Scale, SchemeKind};
+use leaftl_sim::DramPolicy;
+use leaftl_workloads::{app_suite, block_trace_suite};
+use serde_json::{json, Value};
+
+const SCHEMES: [SchemeKind; 3] = [
+    SchemeKind::Dftl,
+    SchemeKind::Sftl,
+    SchemeKind::LeaFtl { gamma: 0 },
+];
+
+/// Fig. 22a: performance while varying the DRAM capacity. The paper
+/// uses 256 MB / 512 MB / 1024 MB on a 1 TB device; we keep the same
+/// DRAM:capacity ratios on the scaled device.
+pub fn fig22a(quick: bool) -> Value {
+    let scale = Scale::perf(quick);
+    // Ratios relative to the base perf scale: 1x, 2x, 4x.
+    let dram_multipliers = [1usize, 2, 4];
+    let mut rows = Vec::new();
+    let mut out = Vec::new();
+    for &mult in &dram_multipliers {
+        let mut config = scale.config(DramPolicy::DataFloor(0.2));
+        config.dram_bytes = scale.dram * mult;
+        // Geometric mean of latency across the app suite per scheme.
+        let mut latencies = vec![0.0f64; SCHEMES.len()];
+        for profile in app_suite() {
+            for (i, &kind) in SCHEMES.iter().enumerate() {
+                let r = run_workload_with_config(kind, &profile, &scale, config.clone());
+                latencies[i] += r.mean_latency_us.max(1e-9).ln();
+            }
+        }
+        let n = app_suite().len() as f64;
+        let latencies: Vec<f64> = latencies.iter().map(|l| (l / n).exp()).collect();
+        let base = latencies[0];
+        rows.push(vec![
+            format!("{}x DRAM ({} KiB)", mult, config.dram_bytes / 1024),
+            format!("{:.2} ({:.1}µs)", 1.0, base),
+            format!("{:.2} ({:.1}µs)", latencies[1] / base, latencies[1]),
+            format!("{:.2} ({:.1}µs)", latencies[2] / base, latencies[2]),
+        ]);
+        out.push(json!({
+            "dram_bytes": config.dram_bytes,
+            "schemes": ["DFTL", "SFTL", "LeaFTL"],
+            "geomean_latency_us": latencies,
+        }));
+    }
+    print_table(
+        "Fig. 22a: latency vs DRAM capacity, app suite geomean (paper: LeaFTL best at every size)",
+        &["DRAM", "DFTL", "SFTL", "LeaFTL"],
+        &rows,
+    );
+    json!({ "experiment": "fig22a", "series": out })
+}
+
+/// Fig. 22b: performance while varying the flash page size at fixed
+/// total capacity (4 KB / 8 KB / 16 KB pages).
+pub fn fig22b(quick: bool) -> Value {
+    let scale = Scale::perf(quick);
+    let mut rows = Vec::new();
+    let mut out = Vec::new();
+    for page_size in [4096u32, 8192, 16384] {
+        let mut config = scale.config(DramPolicy::DataFloor(0.2));
+        // Fixed total capacity: halve the block count as pages grow.
+        let block_bytes = 256u64 * page_size as u64;
+        config.geometry.page_size = page_size;
+        config.geometry.blocks = scale.capacity / block_bytes;
+        // Keep the write buffer at one block worth of pages.
+        config.write_buffer_pages = 256.min(scale.buffer_pages * 4096 / page_size as usize).max(32);
+        let mut latencies = vec![0.0f64; SCHEMES.len()];
+        let suite = block_trace_suite();
+        for profile in &suite {
+            for (i, &kind) in SCHEMES.iter().enumerate() {
+                let r = run_workload_with_config(kind, profile, &scale, config.clone());
+                latencies[i] += r.mean_latency_us.max(1e-9).ln();
+            }
+        }
+        let n = suite.len() as f64;
+        let latencies: Vec<f64> = latencies.iter().map(|l| (l / n).exp()).collect();
+        let base = latencies[0];
+        rows.push(vec![
+            format!("{} KiB pages", page_size / 1024),
+            format!("{:.2} ({:.1}µs)", 1.0, base),
+            format!("{:.2} ({:.1}µs)", latencies[1] / base, latencies[1]),
+            format!("{:.2} ({:.1}µs)", latencies[2] / base, latencies[2]),
+        ]);
+        out.push(json!({
+            "page_size": page_size,
+            "schemes": ["DFTL", "SFTL", "LeaFTL"],
+            "geomean_latency_us": latencies,
+        }));
+    }
+    print_table(
+        "Fig. 22b: latency vs flash page size, block-trace geomean (paper: LeaFTL 1.1–1.2x over SFTL)",
+        &["page size", "DFTL", "SFTL", "LeaFTL"],
+        &rows,
+    );
+    json!({ "experiment": "fig22b", "series": out })
+}

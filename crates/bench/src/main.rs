@@ -1,0 +1,82 @@
+//! Experiment harness for the LeaFTL reproduction.
+//!
+//! Reproduces every table and figure of the paper's evaluation:
+//!
+//! ```text
+//! cargo run -p leaftl-bench --release -- list
+//! cargo run -p leaftl-bench --release -- fig15 fig16b
+//! cargo run -p leaftl-bench --release -- all
+//! cargo run -p leaftl-bench --release -- --quick all   # smoke scales
+//! ```
+//!
+//! Each experiment prints a human-readable table (with the paper's
+//! reference numbers in the title) and appends a JSON record to
+//! `results/<name>.json` for re-plotting.
+
+mod common;
+mod experiments;
+
+use experiments::registry;
+use std::fs;
+use std::process::ExitCode;
+use std::time::Instant;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick" || a == "-q");
+    let selected: Vec<String> = args
+        .into_iter()
+        .filter(|a| !a.starts_with('-'))
+        .collect();
+
+    let all = registry();
+    if selected.is_empty() || selected.iter().any(|s| s == "list") {
+        println!("available experiments (run with names, or `all`):\n");
+        for e in &all {
+            println!("  {:<22} {}", e.name, e.description);
+        }
+        println!("\nflags: --quick  (smoke-test scales)");
+        return ExitCode::SUCCESS;
+    }
+
+    let run_all = selected.iter().any(|s| s == "all");
+    let chosen: Vec<&experiments::Experiment> = if run_all {
+        all.iter().collect()
+    } else {
+        let mut chosen = Vec::new();
+        for name in &selected {
+            match all.iter().find(|e| e.name == *name) {
+                Some(e) => chosen.push(e),
+                None => {
+                    eprintln!("unknown experiment `{name}` — try `list`");
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+        chosen
+    };
+
+    let results_dir = std::path::Path::new("results");
+    if let Err(e) = fs::create_dir_all(results_dir) {
+        eprintln!("cannot create results dir: {e}");
+        return ExitCode::FAILURE;
+    }
+
+    for experiment in chosen {
+        let started = Instant::now();
+        println!("\n##### {} — {}", experiment.name, experiment.description);
+        let value = (experiment.run)(quick);
+        let elapsed = started.elapsed();
+        println!("[{} finished in {:.1?}]", experiment.name, elapsed);
+        let path = results_dir.join(format!("{}.json", experiment.name));
+        match serde_json::to_string_pretty(&value) {
+            Ok(serialized) => {
+                if let Err(e) = fs::write(&path, serialized) {
+                    eprintln!("cannot write {}: {e}", path.display());
+                }
+            }
+            Err(e) => eprintln!("cannot serialise {}: {e}", experiment.name),
+        }
+    }
+    ExitCode::SUCCESS
+}

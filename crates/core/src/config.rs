@@ -1,0 +1,70 @@
+//! LeaFTL mapping-table configuration.
+
+use serde::{Deserialize, Serialize};
+
+/// Tunables for the learned mapping table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LeaFtlConfig {
+    /// Error bound γ of approximate segments: a predicted PPA is within
+    /// `[-γ, +γ]` of the true one. `0` (the paper's default) learns only
+    /// accurate segments. Larger values condense the table further at
+    /// the cost of mispredictions (§3.2, Fig. 19/24).
+    pub gamma: u32,
+    /// Host writes between automatic compactions of the log-structured
+    /// table (paper default: one million, §3.7).
+    pub compaction_interval: u64,
+}
+
+impl LeaFtlConfig {
+    /// Paper defaults: `γ = 0`, compaction every 1 M writes.
+    pub fn new() -> Self {
+        LeaFtlConfig {
+            gamma: 0,
+            compaction_interval: 1_000_000,
+        }
+    }
+
+    /// Sets the error bound γ.
+    #[must_use]
+    pub fn with_gamma(mut self, gamma: u32) -> Self {
+        self.gamma = gamma;
+        self
+    }
+
+    /// Sets the compaction interval in host writes.
+    #[must_use]
+    pub fn with_compaction_interval(mut self, writes: u64) -> Self {
+        self.compaction_interval = writes.max(1);
+        self
+    }
+}
+
+impl Default for LeaFtlConfig {
+    fn default() -> Self {
+        LeaFtlConfig::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper() {
+        let c = LeaFtlConfig::default();
+        assert_eq!(c.gamma, 0);
+        assert_eq!(c.compaction_interval, 1_000_000);
+    }
+
+    #[test]
+    fn builder_chain() {
+        let c = LeaFtlConfig::new().with_gamma(4).with_compaction_interval(1000);
+        assert_eq!(c.gamma, 4);
+        assert_eq!(c.compaction_interval, 1000);
+    }
+
+    #[test]
+    fn compaction_interval_floor() {
+        assert_eq!(LeaFtlConfig::new().with_compaction_interval(0).compaction_interval, 1);
+    }
+}

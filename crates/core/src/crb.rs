@@ -1,0 +1,321 @@
+//! Conflict Resolution Buffer (CRB, §3.4 of the paper).
+//!
+//! Approximate segments are learned from irregular patterns, so their
+//! member LPAs cannot be inferred from `(S, L, K, I)`. Each 256-LPA
+//! group keeps a CRB recording, for every approximate segment, exactly
+//! which group offsets it indexes. The paper stores it as a
+//! nearly-sorted byte list with null separators; this implementation
+//! keeps the same invariants with an explicit run structure:
+//!
+//! 1. offsets of one segment are stored contiguously (a *run*),
+//! 2. runs are sorted by their starting offset,
+//! 3. an offset appears at most once in the whole CRB (inserting a new
+//!    run removes its offsets from older runs),
+//! 4. run starting offsets are unique — this follows from invariant 3
+//!    and identifies the owning segment during lookup.
+//!
+//! Byte accounting matches the paper: one byte per stored offset plus a
+//! null separator per run (Fig. 10 reports ~14 B per group on average).
+
+use serde::{Deserialize, Serialize};
+
+/// Side effects of a CRB mutation that the owning group must mirror in
+/// its log-structured levels (the run start identifies the segment).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CrbPatch {
+    /// An older run lost its head; the owning segment's interval must be
+    /// updated to `[new_start, new_end]`.
+    Rehead {
+        /// Previous starting offset (segment identity before the patch).
+        old_start: u8,
+        /// New first member.
+        new_start: u8,
+        /// New last member.
+        new_end: u8,
+    },
+    /// An older run lost all members; the owning segment must be removed.
+    Remove {
+        /// Starting offset of the emptied run.
+        start: u8,
+    },
+}
+
+/// One approximate segment's member offsets (sorted, non-empty).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+struct Run {
+    members: Vec<u8>,
+}
+
+impl Run {
+    fn start(&self) -> u8 {
+        self.members[0]
+    }
+
+    fn end(&self) -> u8 {
+        *self.members.last().expect("runs are non-empty")
+    }
+
+    fn contains(&self, offset: u8) -> bool {
+        self.members.binary_search(&offset).is_ok()
+    }
+}
+
+/// The per-group conflict resolution buffer.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Crb {
+    runs: Vec<Run>,
+}
+
+impl Crb {
+    /// An empty CRB.
+    pub fn new() -> Self {
+        Crb::default()
+    }
+
+    /// Registers the member set of a newly learned approximate segment.
+    ///
+    /// Removes the new members from every older run (invariant 3) and
+    /// returns the segment patches the group must apply for runs that
+    /// lost their head or emptied entirely. The paper's special case —
+    /// a new segment sharing its `S_LPA` with an existing one — falls
+    /// out naturally: the shared head is deduplicated from the old run,
+    /// which reheads it (§3.4, Fig. 9b).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `members` is empty or not strictly increasing.
+    pub fn insert_run(&mut self, members: &[u8]) -> Vec<CrbPatch> {
+        assert!(!members.is_empty(), "crb runs cannot be empty");
+        assert!(
+            members.windows(2).all(|w| w[0] < w[1]),
+            "crb run members must be strictly increasing"
+        );
+        let mut patches = Vec::new();
+        let mut emptied = Vec::new();
+        for (idx, run) in self.runs.iter_mut().enumerate() {
+            let old_start = run.start();
+            let before = run.members.len();
+            run.members.retain(|m| members.binary_search(m).is_err());
+            if run.members.len() == before {
+                continue;
+            }
+            if run.members.is_empty() {
+                emptied.push(idx);
+                patches.push(CrbPatch::Remove { start: old_start });
+            } else if run.start() != old_start {
+                patches.push(CrbPatch::Rehead {
+                    old_start,
+                    new_start: run.start(),
+                    new_end: run.end(),
+                });
+            }
+        }
+        for idx in emptied.into_iter().rev() {
+            self.runs.remove(idx);
+        }
+        let run = Run {
+            members: members.to_vec(),
+        };
+        debug_assert!(
+            self.runs.iter().all(|r| r.start() != run.start()),
+            "run start {} already present after dedup",
+            run.start()
+        );
+        self.runs.push(run);
+        // Reheads can reorder interleaved runs; restore start order so
+        // binary searches stay sound.
+        self.runs.sort_by_key(Run::start);
+        patches
+    }
+
+    /// Which approximate segment (identified by its run start) indexes
+    /// `offset`, if any. This is the lookup primitive of Fig. 9b: find
+    /// the offset in the buffer, scan left to the run head.
+    pub fn owner_of(&self, offset: u8) -> Option<u8> {
+        // Runs after the partition point start beyond `offset` and
+        // cannot contain it (members are >= start).
+        let limit = self.runs.partition_point(|r| r.start() <= offset);
+        self.runs[..limit]
+            .iter()
+            .find(|run| run.contains(offset))
+            .map(|run| run.start())
+    }
+
+    /// Member offsets of the run starting at `start`.
+    pub fn members_of(&self, start: u8) -> Option<&[u8]> {
+        self.runs
+            .binary_search_by_key(&start, |r| r.start())
+            .ok()
+            .map(|idx| self.runs[idx].members.as_slice())
+    }
+
+    /// Replaces the member set of the run starting at `old_start` after
+    /// a segment merge trimmed it (Algorithm 2 lines 24–25). An empty
+    /// `remaining` removes the run.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no run starts at `old_start` or `remaining` is not a
+    /// strictly increasing subset.
+    pub fn replace_run(&mut self, old_start: u8, remaining: Vec<u8>) {
+        let idx = self
+            .runs
+            .binary_search_by_key(&old_start, |r| r.start())
+            .unwrap_or_else(|_| panic!("no crb run starts at {old_start}"));
+        if remaining.is_empty() {
+            self.runs.remove(idx);
+            return;
+        }
+        debug_assert!(remaining.windows(2).all(|w| w[0] < w[1]));
+        self.runs[idx].members = remaining;
+        // Trimming the head can reorder interleaved runs; restore start
+        // order so binary searches stay sound.
+        self.runs.sort_by_key(Run::start);
+        debug_assert!(self
+            .runs
+            .windows(2)
+            .all(|w| w[0].start() < w[1].start()));
+    }
+
+    /// Removes the run starting at `start`, if present.
+    pub fn remove_run(&mut self, start: u8) {
+        if let Ok(idx) = self.runs.binary_search_by_key(&start, |r| r.start()) {
+            self.runs.remove(idx);
+        }
+    }
+
+    /// Total bytes: one per member plus one null separator per run
+    /// (paper Fig. 10 accounting).
+    pub fn byte_size(&self) -> usize {
+        self.total_members() + self.runs.len()
+    }
+
+    /// Number of member offsets stored across all runs.
+    pub fn total_members(&self) -> usize {
+        self.runs.iter().map(|r| r.members.len()).sum()
+    }
+
+    /// Number of runs (approximate segments tracked).
+    pub fn run_count(&self) -> usize {
+        self.runs.len()
+    }
+
+    /// Whether the CRB holds no runs.
+    pub fn is_empty(&self) -> bool {
+        self.runs.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_and_lookup() {
+        let mut crb = Crb::new();
+        assert!(crb.insert_run(&[100, 103, 106]).is_empty());
+        assert_eq!(crb.owner_of(100), Some(100));
+        assert_eq!(crb.owner_of(103), Some(100));
+        assert_eq!(crb.owner_of(104), None);
+        assert_eq!(crb.members_of(100), Some(&[100u8, 103, 106][..]));
+        assert_eq!(crb.byte_size(), 4); // 3 members + 1 separator
+    }
+
+    #[test]
+    fn dedup_removes_members_from_old_runs() {
+        let mut crb = Crb::new();
+        crb.insert_run(&[100, 103, 106]);
+        let patches = crb.insert_run(&[103, 104]);
+        assert!(patches.is_empty()); // head of old run unchanged
+        assert_eq!(crb.members_of(100), Some(&[100u8, 106][..]));
+        assert_eq!(crb.owner_of(103), Some(103));
+        assert_eq!(crb.owner_of(104), Some(103));
+    }
+
+    #[test]
+    fn paper_fig9b_same_start_reheads_old_run() {
+        // Old approximate segment starts at 100; a new one with the same
+        // S_LPA arrives; the old segment's head moves to its next member.
+        let mut crb = Crb::new();
+        crb.insert_run(&[100, 101, 103, 104, 106]);
+        let patches = crb.insert_run(&[100, 102, 105]);
+        assert_eq!(
+            patches,
+            vec![CrbPatch::Rehead {
+                old_start: 100,
+                new_start: 101,
+                new_end: 106
+            }]
+        );
+        assert_eq!(crb.owner_of(100), Some(100));
+        assert_eq!(crb.owner_of(101), Some(101));
+        assert_eq!(crb.owner_of(105), Some(100));
+        assert_eq!(crb.members_of(101), Some(&[101u8, 103, 104, 106][..]));
+    }
+
+    #[test]
+    fn emptied_run_is_removed_with_patch() {
+        let mut crb = Crb::new();
+        crb.insert_run(&[10, 20]);
+        let patches = crb.insert_run(&[10, 20, 30]);
+        assert_eq!(patches, vec![CrbPatch::Remove { start: 10 }]);
+        assert_eq!(crb.run_count(), 1);
+        assert_eq!(crb.owner_of(20), Some(10)); // owned by the new run
+        assert_eq!(crb.members_of(10), Some(&[10u8, 20, 30][..]));
+    }
+
+    #[test]
+    fn interleaved_runs_resolve_owners() {
+        let mut crb = Crb::new();
+        crb.insert_run(&[100, 103, 106]);
+        crb.insert_run(&[101, 104]);
+        assert_eq!(crb.owner_of(103), Some(100));
+        assert_eq!(crb.owner_of(104), Some(101));
+        assert_eq!(crb.owner_of(106), Some(100));
+        assert_eq!(crb.owner_of(102), None);
+    }
+
+    #[test]
+    fn replace_run_trims_and_removes() {
+        let mut crb = Crb::new();
+        crb.insert_run(&[5, 8, 11]);
+        crb.replace_run(5, vec![8, 11]);
+        assert_eq!(crb.owner_of(5), None);
+        assert_eq!(crb.members_of(8), Some(&[8u8, 11][..]));
+        crb.replace_run(8, vec![]);
+        assert!(crb.is_empty());
+    }
+
+    #[test]
+    fn remove_run_is_idempotent() {
+        let mut crb = Crb::new();
+        crb.insert_run(&[1, 2]);
+        crb.remove_run(1);
+        crb.remove_run(1);
+        assert!(crb.is_empty());
+    }
+
+    #[test]
+    fn offsets_unique_across_runs() {
+        let mut crb = Crb::new();
+        crb.insert_run(&[0, 50, 100]);
+        crb.insert_run(&[25, 50, 75]);
+        crb.insert_run(&[50, 60]);
+        // 50 must appear exactly once, owned by the newest run.
+        let mut count = 0;
+        for start in [0u8, 25, 50] {
+            if let Some(members) = crb.members_of(start) {
+                count += members.iter().filter(|&&m| m == 50).count();
+            }
+        }
+        assert_eq!(count, 1);
+        assert_eq!(crb.owner_of(50), Some(50));
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly increasing")]
+    fn rejects_unsorted_run() {
+        let mut crb = Crb::new();
+        crb.insert_run(&[3, 1]);
+    }
+}

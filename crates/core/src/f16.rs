@@ -1,0 +1,209 @@
+//! Minimal IEEE 754 binary16 (half-precision) codec.
+//!
+//! LeaFTL stores each learned segment's slope `K` as a 16-bit float so
+//! the whole segment packs into 8 bytes (§3.2). The paper additionally
+//! overloads the least-significant mantissa bit of `K` as the segment
+//! *type flag* (0 = accurate, 1 = approximate), which perturbs the slope
+//! by at most one unit in the last place.
+//!
+//! Only the subset needed by the mapping table is implemented:
+//! non-negative finite values, directed rounding, and LSB forcing. No
+//! external crate is used (the approved dependency list has no
+//! half-float crate).
+
+/// Decodes an IEEE binary16 bit pattern into `f64`.
+///
+/// Only the non-negative finite range is meaningful for slopes; negative
+/// and non-finite patterns still decode correctly for completeness.
+pub fn decode(bits: u16) -> f64 {
+    let sign = if bits & 0x8000 != 0 { -1.0 } else { 1.0 };
+    let exponent = ((bits >> 10) & 0x1f) as i32;
+    let mantissa = (bits & 0x3ff) as f64;
+    match exponent {
+        0 => sign * mantissa * 2f64.powi(-24), // subnormal (or zero)
+        0x1f => {
+            if mantissa == 0.0 {
+                sign * f64::INFINITY
+            } else {
+                f64::NAN
+            }
+        }
+        _ => sign * (1.0 + mantissa / 1024.0) * 2f64.powi(exponent - 15),
+    }
+}
+
+/// Largest binary16 value that is `<= value` (directed rounding toward
+/// negative infinity), for non-negative finite input.
+///
+/// # Panics
+///
+/// Panics if `value` is negative, NaN, or infinite.
+pub fn encode_floor(value: f64) -> u16 {
+    assert!(
+        value.is_finite() && value >= 0.0,
+        "encode_floor expects a non-negative finite value, got {value}"
+    );
+    if value >= MAX_F16 {
+        return MAX_F16_BITS;
+    }
+    // Binary search over the ordered non-negative bit patterns:
+    // for non-negative half-floats, the bit pattern order equals the
+    // numeric order.
+    let mut lo = 0u16;
+    let mut hi = MAX_F16_BITS;
+    while lo < hi {
+        let mid = (lo + hi).div_ceil(2);
+        if decode(mid) <= value {
+            lo = mid;
+        } else {
+            hi = mid - 1;
+        }
+    }
+    lo
+}
+
+/// Smallest binary16 value that is `>= value`, for non-negative finite
+/// input; saturates at the maximum finite half-float.
+///
+/// # Panics
+///
+/// Panics if `value` is negative, NaN, or infinite.
+pub fn encode_ceil(value: f64) -> u16 {
+    let floor = encode_floor(value);
+    if decode(floor) >= value {
+        floor
+    } else {
+        floor.saturating_add(1).min(MAX_F16_BITS)
+    }
+}
+
+/// Nearest binary16 to `value` (ties toward the floor).
+///
+/// # Panics
+///
+/// Panics if `value` is negative, NaN, or infinite.
+pub fn encode_nearest(value: f64) -> u16 {
+    let floor = encode_floor(value);
+    let ceil = encode_ceil(value);
+    if (value - decode(floor)).abs() <= (decode(ceil) - value).abs() {
+        floor
+    } else {
+        ceil
+    }
+}
+
+/// Maximum finite binary16 value (65504.0).
+pub const MAX_F16: f64 = 65504.0;
+/// Bit pattern of [`MAX_F16`].
+pub const MAX_F16_BITS: u16 = 0x7bff;
+
+/// Returns the two closest bit patterns to `value` whose LSB equals
+/// `flag` — one from below, one from above — clamped to the non-negative
+/// finite range.
+///
+/// The learning path tries both and keeps whichever satisfies the error
+/// bound after integer verification (see `plr`).
+pub fn candidates_with_flag(value: f64, flag: bool) -> [u16; 2] {
+    let want = flag as u16;
+    let floor = encode_floor(value);
+    let down = if floor & 1 == want {
+        floor
+    } else {
+        floor.saturating_sub(1) | want
+    };
+    let ceil = encode_ceil(value);
+    let up = if ceil & 1 == want {
+        ceil
+    } else {
+        (ceil.saturating_add(1)).min(MAX_F16_BITS | 1) // keep finite-ish
+    };
+    // Normalise `up` to carry the requested flag even after clamping.
+    let up = if up & 1 == want { up } else { up ^ 1 };
+    [down, up]
+}
+
+/// Whether the stored slope flags the segment as approximate (LSB = 1).
+pub fn flag_of(bits: u16) -> bool {
+    bits & 1 == 1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn decode_known_values() {
+        assert_eq!(decode(0x0000), 0.0);
+        assert_eq!(decode(0x3c00), 1.0);
+        assert_eq!(decode(0x3800), 0.5);
+        assert_eq!(decode(0x3400), 0.25);
+        assert_eq!(decode(0x7bff), 65504.0);
+        // Smallest positive subnormal.
+        assert!((decode(0x0001) - 2f64.powi(-24)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn floor_is_exact_for_representable() {
+        for bits in [0x0000u16, 0x3c00, 0x3800, 0x3555, 0x0001, 0x7bff] {
+            let v = decode(bits);
+            assert_eq!(encode_floor(v), bits, "bits {bits:#06x}");
+        }
+    }
+
+    #[test]
+    fn floor_and_ceil_bracket() {
+        for &v in &[0.1, 1.0 / 3.0, 0.9999, 0.0001, 1.5, 0.007, 250.3] {
+            let f = decode(encode_floor(v));
+            let c = decode(encode_ceil(v));
+            assert!(f <= v, "floor {f} > {v}");
+            assert!(c >= v, "ceil {c} < {v}");
+            // They are adjacent representable values (or equal).
+            assert!(encode_ceil(v) - encode_floor(v) <= 1);
+        }
+    }
+
+    #[test]
+    fn nearest_picks_closer_side() {
+        let third = 1.0 / 3.0;
+        let n = decode(encode_nearest(third));
+        let f = decode(encode_floor(third));
+        let c = decode(encode_ceil(third));
+        assert!((n - third).abs() <= (f - third).abs());
+        assert!((n - third).abs() <= (c - third).abs());
+    }
+
+    #[test]
+    fn floor_saturates_at_max() {
+        assert_eq!(encode_floor(1e9), MAX_F16_BITS);
+        assert_eq!(encode_ceil(1e9), MAX_F16_BITS);
+    }
+
+    #[test]
+    fn candidates_carry_flag_and_bracket() {
+        for &v in &[0.0, 0.25, 1.0 / 3.0, 0.56, 1.0] {
+            for flag in [false, true] {
+                let [down, up] = candidates_with_flag(v, flag);
+                assert_eq!(flag_of(down), flag);
+                assert_eq!(flag_of(up), flag);
+                assert!(decode(down) <= v + 2e-3, "down {} v {v}", decode(down));
+                assert!(decode(up) >= v - 2e-3, "up {} v {v}", decode(up));
+            }
+        }
+    }
+
+    #[test]
+    fn quantization_error_is_small_for_slopes() {
+        // Slopes live in (0, 1]; relative error must stay within a few
+        // ulp (directed rounding plus the type-flag forcing).
+        for s in 1..=255u32 {
+            let k = 1.0 / s as f64;
+            for flag in [false, true] {
+                let [down, up] = candidates_with_flag(k, flag);
+                for c in [down, up] {
+                    let err = (decode(c) - k).abs();
+                    assert!(err <= k * 2f64.powi(-8) + 1e-9, "s={s} err={err}");
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,365 @@
+//! Greedy error-bounded piecewise linear regression (PLR).
+//!
+//! LeaFTL learns index segments with the maximum-error-bounded greedy
+//! PLR of Xie et al. (the paper's reference \[64\]): a segment grows while
+//! a line through the anchor point can pass within `±γ` of every point
+//! (the feasible-slope *cone*); when the cone empties, the segment is
+//! closed and a new one starts.
+//!
+//! After the real-valued fit, the slope is quantized to half precision
+//! with the segment-type flag forced into its LSB, the integer intercept
+//! is derived, and **every covered point is re-verified against the
+//! quantized integer decoder** ([`Segment::translate`]). If quantization
+//! breaks the bound for some point, the segment is shortened at that
+//! point. γ = 0 therefore yields exclusively exact (accurate) segments,
+//! and γ > 0 segments never exceed the bound — the paper's "guaranteed
+//! error bound" enforced by construction.
+
+use crate::f16;
+use crate::segment::Segment;
+use leaftl_flash::Ppa;
+
+/// A fitted segment together with the exact set of group offsets it
+/// indexes. For accurate segments the member set is implied by the
+/// stride; for approximate segments the caller must register the members
+/// in the group's CRB (§3.4).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LearnedPiece {
+    /// The 8-byte encoded segment.
+    pub segment: Segment,
+    /// Group offsets of the LPAs this segment actually indexes, sorted.
+    pub members: Vec<u8>,
+}
+
+impl LearnedPiece {
+    /// Number of LPA→PPA mappings this piece indexes.
+    pub fn member_count(&self) -> usize {
+        self.members.len()
+    }
+}
+
+/// Fits learned segments over `points` with error bound `gamma`.
+///
+/// `points` are `(group_offset, raw_ppa)` pairs that must be strictly
+/// increasing in offset and strictly increasing in PPA — the natural
+/// shape of a buffer flush after LPA sorting (§3.3): ascending LPAs get
+/// ascending PPAs.
+///
+/// # Panics
+///
+/// Panics (debug builds) if the input violates monotonicity.
+pub fn fit(points: &[(u8, u64)], gamma: u32) -> Vec<LearnedPiece> {
+    debug_assert!(
+        points.windows(2).all(|w| w[0].0 < w[1].0 && w[0].1 < w[1].1),
+        "plr input must be strictly increasing in offset and ppa"
+    );
+    let mut pieces = Vec::new();
+    let mut rest = points;
+    while !rest.is_empty() {
+        let (piece, used) = fit_one(rest, gamma);
+        pieces.push(piece);
+        rest = &rest[used..];
+    }
+    pieces
+}
+
+/// Fits one maximal segment from the head of `points`.
+fn fit_one(points: &[(u8, u64)], gamma: u32) -> (LearnedPiece, usize) {
+    let (x0, y0) = points[0];
+
+    // Grow the feasible-slope cone anchored at (x0, y0).
+    let mut lo = 0.0_f64;
+    let mut hi = f64::INFINITY;
+    let mut m = 1;
+    while m < points.len() {
+        let (x, y) = points[m];
+        let dx = (x - x0) as f64;
+        let dy = y as f64 - y0 as f64;
+        let new_lo = lo.max((dy - gamma as f64) / dx);
+        let new_hi = hi.min((dy + gamma as f64) / dx);
+        if new_lo > new_hi {
+            break;
+        }
+        lo = new_lo;
+        hi = new_hi;
+        m += 1;
+    }
+    let k_star = if m == 1 {
+        0.0
+    } else {
+        0.5 * (lo + hi.min(f16::MAX_F16))
+    };
+
+    // Quantize and verify; shorten on violation. Terminates because a
+    // single point always verifies.
+    let mut len = m;
+    loop {
+        if len == 1 {
+            let piece = LearnedPiece {
+                segment: Segment::single_point(x0, Ppa::new(y0)),
+                members: vec![x0],
+            };
+            return (piece, 1);
+        }
+        if let Some(piece) = quantize(&points[..len], k_star, gamma) {
+            return (piece, len);
+        }
+        len -= 1;
+    }
+}
+
+/// Builds a verified [`Segment`] over `points`, or `None` if no
+/// half-precision slope honours the bound over all of them.
+fn quantize(points: &[(u8, u64)], k_star: f64, gamma: u32) -> Option<LearnedPiece> {
+    try_accurate(points).or_else(|| {
+        if gamma > 0 {
+            try_approximate(points, k_star, gamma)
+        } else {
+            None
+        }
+    })
+}
+
+/// Accurate classification: offsets form an arithmetic sequence with
+/// stride `s` and PPAs are consecutive, i.e. the batch wrote a regular
+/// stride pattern (slope `1/s`). Verifies exact translation *and* that
+/// the stride test `⌈1/K⌉ == s` identifies exactly the members.
+fn try_accurate(points: &[(u8, u64)]) -> Option<LearnedPiece> {
+    let stride = points[1].0 - points[0].0;
+    let arithmetic = points
+        .windows(2)
+        .all(|w| w[1].0 - w[0].0 == stride && w[1].1 - w[0].1 == 1);
+    if !arithmetic || stride == 0 {
+        return None;
+    }
+    let k_star = 1.0 / stride as f64;
+    for k_bits in f16::candidates_with_flag(k_star, false) {
+        let k = f16::decode(k_bits);
+        if k <= 0.0 || (1.0 / k).ceil() as u32 != stride as u32 {
+            continue;
+        }
+        if let Some(piece) = verified_piece(points, k_bits, 0) {
+            return Some(piece);
+        }
+    }
+    None
+}
+
+/// Approximate classification: any half-precision slope close to the
+/// cone midpoint whose integer predictions stay within `±γ`.
+fn try_approximate(points: &[(u8, u64)], k_star: f64, gamma: u32) -> Option<LearnedPiece> {
+    let k_star = k_star.clamp(0.0, f16::MAX_F16);
+    for k_bits in f16::candidates_with_flag(k_star, true) {
+        let k = f16::decode(k_bits);
+        if k < 0.0 {
+            continue;
+        }
+        if let Some(piece) = verified_piece(points, k_bits, gamma) {
+            return Some(piece);
+        }
+    }
+    None
+}
+
+/// Chooses the intercept for slope `k_bits` and verifies every point
+/// against the exact [`Segment::translate`] decoder with bound `gamma`.
+fn verified_piece(points: &[(u8, u64)], k_bits: u16, gamma: u32) -> Option<LearnedPiece> {
+    let k = f16::decode(k_bits);
+    let residual = |&(x, y): &(u8, u64)| y as i64 - (k * x as f64).round() as i64;
+    let e_min = points.iter().map(residual).min()?;
+    let e_max = points.iter().map(residual).max()?;
+    if e_max - e_min > 2 * gamma as i64 {
+        return None;
+    }
+    // Midrange intercept: max deviation is ⌈spread/2⌉ ≤ γ.
+    let intercept = e_min + (e_max - e_min) / 2;
+    if intercept < i32::MIN as i64 || intercept > i32::MAX as i64 {
+        return None;
+    }
+    if e_max - intercept > gamma as i64 || intercept - e_min > gamma as i64 {
+        return None;
+    }
+    let start = points[0].0;
+    let end = points[points.len() - 1].0;
+    let segment = Segment::from_parts(start, end - start, k_bits, intercept as i32);
+    // Final authoritative check against the decoder the lookup path uses.
+    for &(x, y) in points {
+        let predicted = segment.translate(x).raw() as i64;
+        if (predicted - y as i64).unsigned_abs() > gamma as u64 {
+            return None;
+        }
+    }
+    Some(LearnedPiece {
+        segment,
+        members: points.iter().map(|&(x, _)| x).collect(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn consecutive(start_x: u8, start_y: u64, n: usize) -> Vec<(u8, u64)> {
+        (0..n as u64)
+            .map(|i| (start_x + i as u8, start_y + i))
+            .collect()
+    }
+
+    #[test]
+    fn sequential_run_learns_one_accurate_segment() {
+        let points = consecutive(0, 1000, 100);
+        let pieces = fit(&points, 0);
+        assert_eq!(pieces.len(), 1);
+        let piece = &pieces[0];
+        assert!(piece.segment.is_accurate());
+        assert_eq!(piece.member_count(), 100);
+        for &(x, y) in &points {
+            assert_eq!(piece.segment.translate(x).raw(), y);
+        }
+    }
+
+    #[test]
+    fn strided_run_learns_one_accurate_segment() {
+        // LPAs 0,3,6,...,60 with consecutive PPAs: slope 1/3.
+        let points: Vec<(u8, u64)> = (0..21u64).map(|i| ((3 * i) as u8, 500 + i)).collect();
+        let pieces = fit(&points, 0);
+        assert_eq!(pieces.len(), 1);
+        let piece = &pieces[0];
+        assert!(piece.segment.is_accurate());
+        assert_eq!(piece.segment.stride(), Some(3));
+        for &(x, y) in &points {
+            assert_eq!(piece.segment.translate(x).raw(), y);
+            assert!(piece.segment.accurate_has_offset(x));
+        }
+        // Non-members are rejected by the stride test.
+        assert!(!piece.segment.accurate_has_offset(1));
+        assert!(!piece.segment.accurate_has_offset(4));
+    }
+
+    #[test]
+    fn paper_figure6_approximate_example() {
+        // LPAs [0,1,4,5] -> PPAs [64,65,66,67] learn as one approximate
+        // segment when gamma >= 1 (paper uses K=0.56, I=64, gamma=4).
+        let points = vec![(0u8, 64u64), (1, 65), (4, 66), (5, 67)];
+        let pieces = fit(&points, 4);
+        assert_eq!(pieces.len(), 1);
+        let piece = &pieces[0];
+        assert!(piece.segment.is_approximate());
+        assert_eq!(piece.members, vec![0, 1, 4, 5]);
+        for &(x, y) in &points {
+            let err = piece.segment.translate(x).raw() as i64 - y as i64;
+            assert!(err.unsigned_abs() <= 4, "err {err} at x={x}");
+        }
+    }
+
+    #[test]
+    fn gamma_zero_splits_irregular_pattern() {
+        let points = vec![(0u8, 64u64), (1, 65), (4, 66), (5, 67)];
+        let pieces = fit(&points, 0);
+        // No single exact line exists; expect 2 accurate pieces.
+        assert_eq!(pieces.len(), 2);
+        assert!(pieces.iter().all(|p| p.segment.is_accurate()));
+        for piece in &pieces {
+            for &x in &piece.members {
+                let y = points.iter().find(|p| p.0 == x).unwrap().1;
+                assert_eq!(piece.segment.translate(x).raw(), y);
+            }
+        }
+    }
+
+    #[test]
+    fn random_pattern_degrades_to_few_point_segments() {
+        // Widely scattered PPAs: nothing is learnable even with gamma=8;
+        // only single points (and occasional 2-point strides) emerge.
+        let points: Vec<(u8, u64)> = (0..16u64)
+            .map(|i| (i as u8, 10_000 + i * 997 % 7919 * 100))
+            .collect();
+        let points = {
+            let mut p = points;
+            p.sort_by_key(|&(x, _)| x);
+            // Fix monotonicity in y for the contract.
+            let mut y = 0u64;
+            for item in &mut p {
+                y += 1 + item.1 % 500;
+                item.1 = y;
+            }
+            p
+        };
+        let pieces = fit(&points, 0);
+        let total: usize = pieces.iter().map(|p| p.member_count()).sum();
+        assert_eq!(total, points.len());
+    }
+
+    #[test]
+    fn error_bound_holds_for_all_gammas() {
+        // Deterministic irregular-but-monotonic pattern.
+        let mut points = Vec::new();
+        let mut x = 0u32;
+        let mut y = 40_000u64;
+        let mut state = 0x12345678u64;
+        while x <= 255 {
+            points.push((x as u8, y));
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            x += 1 + (state >> 33) as u32 % 4;
+            y += 1;
+        }
+        for gamma in [0u32, 1, 4, 8, 16] {
+            let pieces = fit(&points, gamma);
+            let mut covered = 0;
+            for piece in &pieces {
+                for &x in &piece.members {
+                    let y = points.iter().find(|p| p.0 == x).unwrap().1;
+                    let err =
+                        (piece.segment.translate(x).raw() as i64 - y as i64).unsigned_abs();
+                    assert!(err <= gamma as u64, "gamma={gamma} x={x} err={err}");
+                    covered += 1;
+                }
+            }
+            assert_eq!(covered, points.len(), "gamma={gamma}");
+        }
+    }
+
+    #[test]
+    fn larger_gamma_never_needs_more_segments() {
+        let mut points = Vec::new();
+        let mut state = 99u64;
+        let mut y = 0u64;
+        for x in (0..=255u32).step_by(2) {
+            state = state.wrapping_mul(2862933555777941757).wrapping_add(3037000493);
+            y += 1 + (state >> 60) % 3;
+            points.push((x as u8, y));
+        }
+        let mut last = usize::MAX;
+        for gamma in [0u32, 1, 4, 8, 16] {
+            let n = fit(&points, gamma).len();
+            assert!(n <= last, "gamma={gamma}: {n} > {last}");
+            last = n;
+        }
+    }
+
+    #[test]
+    fn single_point_input() {
+        let pieces = fit(&[(17, 4242)], 4);
+        assert_eq!(pieces.len(), 1);
+        assert_eq!(pieces[0].segment.translate(17).raw(), 4242);
+        assert_eq!(pieces[0].members, vec![17]);
+        assert!(pieces[0].segment.is_accurate());
+    }
+
+    #[test]
+    fn empty_input() {
+        assert!(fit(&[], 0).is_empty());
+    }
+
+    #[test]
+    fn members_partition_input() {
+        let points: Vec<(u8, u64)> = (0..=255u8).map(|x| (x, 7 + x as u64)).collect();
+        for gamma in [0, 4] {
+            let pieces = fit(&points, gamma);
+            let mut all: Vec<u8> = pieces.iter().flat_map(|p| p.members.clone()).collect();
+            all.sort_unstable();
+            let expected: Vec<u8> = (0..=255).collect();
+            assert_eq!(all, expected);
+        }
+    }
+}

@@ -1,0 +1,408 @@
+//! The full learned address-mapping table: groups of log-structured
+//! learned segments (§3 of the paper).
+
+use crate::config::LeaFtlConfig;
+use crate::group::Group;
+use crate::plr;
+use crate::segment::Segment;
+use crate::stats::{MemoryBreakdown, TableStats};
+use leaftl_flash::{Lpa, Ppa};
+use std::collections::BTreeMap;
+
+/// Result of a table lookup.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LookupResult {
+    /// Predicted physical page address.
+    pub ppa: Ppa,
+    /// `true` when the prediction came from an approximate segment and
+    /// the true PPA lies within `[ppa − γ, ppa + γ]`.
+    pub approximate: bool,
+    /// Error bound γ the table was configured with.
+    pub error_bound: u32,
+    /// Levels visited during the top-down search (Fig. 23a).
+    pub levels_visited: u32,
+}
+
+/// LeaFTL's learned LPA→PPA mapping table.
+///
+/// The table partitions the LPA space into 256-LPA groups; each group
+/// holds a log-structured stack of learned segments plus a conflict
+/// resolution buffer for approximate segments.
+///
+/// # Example
+///
+/// ```
+/// use leaftl_core::{LeaFtlConfig, LeaFtlTable};
+/// use leaftl_flash::{Lpa, Ppa};
+///
+/// let mut table = LeaFtlTable::new(LeaFtlConfig::default());
+/// // A buffer flush assigns consecutive PPAs to sorted LPAs.
+/// let batch: Vec<(Lpa, Ppa)> =
+///     (0..256).map(|i| (Lpa::new(i), Ppa::new(5000 + i))).collect();
+/// table.learn(&batch);
+/// assert_eq!(table.lookup(Lpa::new(99)).unwrap().ppa, Ppa::new(5099));
+/// // 256 sequential mappings cost a single 8-byte segment.
+/// assert_eq!(table.segment_count(), 1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct LeaFtlTable {
+    config: LeaFtlConfig,
+    groups: BTreeMap<u64, Group>,
+    writes_since_compaction: u64,
+    total_writes_learned: u64,
+    compactions: u64,
+}
+
+impl LeaFtlTable {
+    /// Creates an empty table.
+    pub fn new(config: LeaFtlConfig) -> Self {
+        LeaFtlTable {
+            config,
+            groups: BTreeMap::new(),
+            writes_since_compaction: 0,
+            total_writes_learned: 0,
+            compactions: 0,
+        }
+    }
+
+    /// The table's configuration.
+    pub fn config(&self) -> &LeaFtlConfig {
+        &self.config
+    }
+
+    /// Learns a batch of LPA→PPA mappings (one buffer flush or one GC
+    /// migration, §3.3/§3.6).
+    ///
+    /// The batch is sorted by LPA and deduplicated (last write wins)
+    /// before fitting, mirroring the controller's buffer sort. PPAs of
+    /// the sorted batch must be strictly increasing — the allocator
+    /// assigns consecutive PPAs to the sorted pages.
+    pub fn learn(&mut self, pairs: &[(Lpa, Ppa)]) {
+        if pairs.is_empty() {
+            return;
+        }
+        let mut sorted: Vec<(Lpa, Ppa)> = pairs.to_vec();
+        // Stable sort + keep the *last* occurrence per LPA.
+        sorted.sort_by_key(|&(lpa, _)| lpa);
+        let mut deduped: Vec<(Lpa, Ppa)> = Vec::with_capacity(sorted.len());
+        for &(lpa, ppa) in &sorted {
+            if let Some(last) = deduped.last_mut() {
+                if last.0 == lpa {
+                    last.1 = ppa;
+                    continue;
+                }
+            }
+            deduped.push((lpa, ppa));
+        }
+        self.total_writes_learned += deduped.len() as u64;
+        self.writes_since_compaction += deduped.len() as u64;
+
+        // Split into per-group monotonic runs and fit each.
+        let gamma = self.config.gamma;
+        let mut start = 0usize;
+        while start < deduped.len() {
+            let group_id = deduped[start].0.group();
+            let mut end = start + 1;
+            while end < deduped.len()
+                && deduped[end].0.group() == group_id
+                && deduped[end].1 > deduped[end - 1].1
+            {
+                end += 1;
+            }
+            let points: Vec<(u8, u64)> = deduped[start..end]
+                .iter()
+                .map(|&(lpa, ppa)| (lpa.group_offset(), ppa.raw()))
+                .collect();
+            let group = self.groups.entry(group_id).or_default();
+            for piece in plr::fit(&points, gamma) {
+                group.insert_piece(&piece);
+            }
+            start = end;
+        }
+    }
+
+    /// Translates an LPA. Returns `None` when the LPA has never been
+    /// mapped (or was shadowed away entirely).
+    pub fn lookup(&self, lpa: Lpa) -> Option<LookupResult> {
+        let group = self.groups.get(&lpa.group())?;
+        group.lookup(lpa.group_offset()).map(|hit| LookupResult {
+            ppa: hit.ppa,
+            approximate: hit.approximate,
+            error_bound: if hit.approximate { self.config.gamma } else { 0 },
+            levels_visited: hit.levels_visited,
+        })
+    }
+
+    /// Compacts every group (Algorithm 1 `seg_compact`), reclaiming
+    /// memory from shadowed segments.
+    pub fn compact(&mut self) {
+        for group in self.groups.values_mut() {
+            group.compact();
+        }
+        self.groups.retain(|_, group| group.segment_count() > 0);
+        self.writes_since_compaction = 0;
+        self.compactions += 1;
+    }
+
+    /// Compacts when the configured write interval elapsed (the paper
+    /// compacts every one million writes). Returns whether compaction
+    /// ran.
+    pub fn maybe_compact(&mut self) -> bool {
+        if self.writes_since_compaction >= self.config.compaction_interval {
+            self.compact();
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Number of compactions performed so far.
+    pub fn compactions(&self) -> u64 {
+        self.compactions
+    }
+
+    /// Total mappings learned (post-dedup host/GC writes).
+    pub fn writes_learned(&self) -> u64 {
+        self.total_writes_learned
+    }
+
+    /// Total learned segments across all groups.
+    pub fn segment_count(&self) -> usize {
+        self.groups.values().map(Group::segment_count).sum()
+    }
+
+    /// Number of non-empty groups.
+    pub fn group_count(&self) -> usize {
+        self.groups.len()
+    }
+
+    /// Memory footprint: 8 B per segment + CRB bytes (paper accounting).
+    pub fn memory_bytes(&self) -> MemoryBreakdown {
+        MemoryBreakdown {
+            segment_bytes: self.segment_count() * Segment::ENCODED_BYTES,
+            crb_bytes: self.groups.values().map(Group::crb_bytes).sum(),
+        }
+    }
+
+    /// Computes a full structural snapshot for the experiment harness.
+    pub fn stats(&self) -> TableStats {
+        let mut stats = TableStats {
+            groups: self.groups.len(),
+            memory: self.memory_bytes(),
+            ..TableStats::default()
+        };
+        for group in self.groups.values() {
+            stats.levels_per_group.push(group.level_count() as u32);
+            stats.crb_bytes_per_group.push(group.crb_bytes());
+            for (_, segment) in group.iter_segments() {
+                stats.segments += 1;
+                if segment.is_accurate() {
+                    stats.accurate_segments += 1;
+                } else {
+                    stats.approximate_segments += 1;
+                }
+                if segment.is_single_point() {
+                    stats.single_point_segments += 1;
+                }
+                stats
+                    .members_per_segment
+                    .push(group.member_count(segment) as u32);
+            }
+        }
+        stats
+    }
+
+    /// Group access for the invariant validator.
+    pub(crate) fn groups_for_validation(&self) -> impl Iterator<Item = (u64, &Group)> {
+        self.groups.iter().map(|(&id, group)| (id, group))
+    }
+
+    /// Iterates every segment with its group id and level, for
+    /// serialization (crash-recovery snapshots) and debugging.
+    pub fn iter_segments(&self) -> impl Iterator<Item = (u64, usize, &Segment)> {
+        self.groups.iter().flat_map(|(&group_id, group)| {
+            group
+                .iter_segments()
+                .map(move |(level, seg)| (group_id, level, seg))
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn batch(lpa0: u64, ppa0: u64, n: u64) -> Vec<(Lpa, Ppa)> {
+        (0..n).map(|i| (Lpa::new(lpa0 + i), Ppa::new(ppa0 + i))).collect()
+    }
+
+    #[test]
+    fn sequential_batch_costs_one_segment_per_group() {
+        let mut table = LeaFtlTable::new(LeaFtlConfig::default());
+        table.learn(&batch(0, 10_000, 1024));
+        // 1024 LPAs span 4 groups.
+        assert_eq!(table.group_count(), 4);
+        assert_eq!(table.segment_count(), 4);
+        for i in 0..1024u64 {
+            assert_eq!(table.lookup(Lpa::new(i)).unwrap().ppa.raw(), 10_000 + i);
+        }
+        assert!(table.lookup(Lpa::new(1024)).is_none());
+        // Memory: 4 segments * 8 B, no CRB.
+        assert_eq!(table.memory_bytes().total(), 32);
+    }
+
+    #[test]
+    fn cross_group_batch_splits_correctly() {
+        let mut table = LeaFtlTable::new(LeaFtlConfig::default());
+        // Batch straddles the 256-boundary.
+        table.learn(&batch(250, 500, 12));
+        for i in 0..12u64 {
+            assert_eq!(table.lookup(Lpa::new(250 + i)).unwrap().ppa.raw(), 500 + i);
+        }
+        assert_eq!(table.group_count(), 2);
+    }
+
+    #[test]
+    fn unsorted_input_with_duplicates_last_wins() {
+        let mut table = LeaFtlTable::new(LeaFtlConfig::default());
+        // The same LPA written twice in one buffer: the flush sorts and
+        // keeps the newest PPA.
+        let pairs = vec![
+            (Lpa::new(5), Ppa::new(100)),
+            (Lpa::new(3), Ppa::new(99)),
+            (Lpa::new(5), Ppa::new(101)),
+        ];
+        table.learn(&pairs);
+        assert_eq!(table.lookup(Lpa::new(5)).unwrap().ppa.raw(), 101);
+        assert_eq!(table.lookup(Lpa::new(3)).unwrap().ppa.raw(), 99);
+    }
+
+    #[test]
+    fn overwrites_shadow_older_mappings() {
+        let mut table = LeaFtlTable::new(LeaFtlConfig::default());
+        table.learn(&batch(0, 1000, 64));
+        table.learn(&batch(16, 5000, 16));
+        for i in 0..16u64 {
+            assert_eq!(table.lookup(Lpa::new(i)).unwrap().ppa.raw(), 1000 + i);
+        }
+        for i in 16..32u64 {
+            assert_eq!(table.lookup(Lpa::new(i)).unwrap().ppa.raw(), 5000 + i - 16);
+        }
+        for i in 32..64u64 {
+            assert_eq!(table.lookup(Lpa::new(i)).unwrap().ppa.raw(), 1000 + i);
+        }
+    }
+
+    #[test]
+    fn compaction_preserves_mappings_and_reclaims() {
+        let mut table = LeaFtlTable::new(LeaFtlConfig::default());
+        for round in 0..10u64 {
+            table.learn(&batch(0, 1000 * (round + 1), 256));
+        }
+        let before = table.segment_count();
+        table.compact();
+        assert!(table.segment_count() <= before);
+        assert_eq!(table.segment_count(), 1);
+        for i in 0..256u64 {
+            assert_eq!(table.lookup(Lpa::new(i)).unwrap().ppa.raw(), 10_000 + i);
+        }
+    }
+
+    #[test]
+    fn maybe_compact_obeys_interval() {
+        let mut table =
+            LeaFtlTable::new(LeaFtlConfig::default().with_compaction_interval(100));
+        table.learn(&batch(0, 1000, 64));
+        assert!(!table.maybe_compact());
+        table.learn(&batch(0, 2000, 64));
+        assert!(table.maybe_compact());
+        assert_eq!(table.compactions(), 1);
+        assert!(!table.maybe_compact());
+    }
+
+    #[test]
+    fn random_single_writes_cost_no_more_than_page_mapping() {
+        let mut table = LeaFtlTable::new(LeaFtlConfig::default());
+        // 64 isolated single-page writes, far apart.
+        let mut ppa = 77_000u64;
+        for i in 0..64u64 {
+            table.learn(&[(Lpa::new(i * 1000), Ppa::new(ppa))]);
+            ppa += 1;
+        }
+        // Each entry costs one 8-byte single-point segment — exactly the
+        // page-level mapping cost (§3.1 worst case).
+        assert_eq!(table.segment_count(), 64);
+        assert_eq!(table.memory_bytes().segment_bytes, 64 * 8);
+        for i in 0..64u64 {
+            assert_eq!(
+                table.lookup(Lpa::new(i * 1000)).unwrap().ppa.raw(),
+                77_000 + i
+            );
+        }
+    }
+
+    #[test]
+    fn gamma_condenses_irregular_patterns() {
+        // Monotonic but jittery mapping: strict page-level patterns fail,
+        // approximate segments capture it.
+        let mut points_exact = Vec::new();
+        let mut state = 42u64;
+        let mut lpa = 0u64;
+        let mut ppa = 30_000u64;
+        for _ in 0..200 {
+            points_exact.push((Lpa::new(lpa), Ppa::new(ppa)));
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            lpa += 1 + (state >> 60) % 3;
+            ppa += 1;
+        }
+        let mut exact = LeaFtlTable::new(LeaFtlConfig::default());
+        exact.learn(&points_exact);
+        let mut relaxed = LeaFtlTable::new(LeaFtlConfig::default().with_gamma(8));
+        relaxed.learn(&points_exact);
+        assert!(
+            relaxed.segment_count() < exact.segment_count(),
+            "γ=8 ({}) must condense vs γ=0 ({})",
+            relaxed.segment_count(),
+            exact.segment_count()
+        );
+        // Predictions stay within the bound.
+        for &(lpa, ppa) in &points_exact {
+            let hit = relaxed.lookup(lpa).unwrap();
+            let err = (hit.ppa.raw() as i64 - ppa.raw() as i64).unsigned_abs();
+            assert!(err <= 8, "lpa {lpa}: err {err}");
+            assert!(hit.error_bound <= 8);
+        }
+    }
+
+    #[test]
+    fn stats_snapshot_consistency() {
+        let mut table = LeaFtlTable::new(LeaFtlConfig::default().with_gamma(4));
+        table.learn(&batch(0, 1000, 300));
+        table.learn(&[
+            (Lpa::new(600), Ppa::new(9000)),
+            (Lpa::new(603), Ppa::new(9001)),
+            (Lpa::new(604), Ppa::new(9002)),
+            (Lpa::new(609), Ppa::new(9003)),
+        ]);
+        let stats = table.stats();
+        assert_eq!(stats.segments, table.segment_count());
+        assert_eq!(
+            stats.accurate_segments + stats.approximate_segments,
+            stats.segments
+        );
+        assert_eq!(stats.groups, table.group_count());
+        assert_eq!(stats.memory.total(), table.memory_bytes().total());
+        let members: u32 = stats.members_per_segment.iter().sum();
+        assert_eq!(members as u64, 304);
+    }
+
+    #[test]
+    fn empty_learn_is_noop() {
+        let mut table = LeaFtlTable::new(LeaFtlConfig::default());
+        table.learn(&[]);
+        assert_eq!(table.segment_count(), 0);
+        assert_eq!(table.group_count(), 0);
+    }
+}

@@ -1,0 +1,81 @@
+//! Flash device error type.
+
+use crate::addr::{BlockId, Ppa};
+use std::error::Error;
+use std::fmt;
+
+/// Errors returned by [`FlashDevice`](crate::FlashDevice) operations.
+///
+/// Each variant corresponds to a violated NAND constraint; a correct FTL
+/// never triggers any of them, so the simulator treats them as fatal
+/// logic errors in tests.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FlashError {
+    /// Address beyond the device geometry.
+    OutOfRange(Ppa),
+    /// Block index beyond the device geometry.
+    BlockOutOfRange(BlockId),
+    /// Program issued to a page that is not in the erased state.
+    ProgramNonFree(Ppa),
+    /// Program issued out of order within a block (NAND requires
+    /// sequential page programming inside an erase block).
+    NonSequentialProgram {
+        /// Page that was requested.
+        requested: Ppa,
+        /// Page the block expected next.
+        expected: Ppa,
+    },
+    /// Read issued to a page that has never been programmed since the
+    /// last erase (erased pages contain no data).
+    ReadErased(Ppa),
+    /// The block exceeded its program/erase endurance and is now bad.
+    WornOut(BlockId),
+}
+
+impl fmt::Display for FlashError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FlashError::OutOfRange(ppa) => write!(f, "page address {ppa} out of range"),
+            FlashError::BlockOutOfRange(block) => write!(f, "block {block} out of range"),
+            FlashError::ProgramNonFree(ppa) => {
+                write!(f, "program to non-erased page {ppa}")
+            }
+            FlashError::NonSequentialProgram {
+                requested,
+                expected,
+            } => write!(
+                f,
+                "non-sequential program: requested {requested}, block expects {expected}"
+            ),
+            FlashError::ReadErased(ppa) => write!(f, "read of erased page {ppa}"),
+            FlashError::WornOut(block) => write!(f, "block {block} exceeded endurance"),
+        }
+    }
+}
+
+impl Error for FlashError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_nonempty_and_lowercase() {
+        let errors = [
+            FlashError::OutOfRange(Ppa::new(1)),
+            FlashError::BlockOutOfRange(BlockId::new(2)),
+            FlashError::ProgramNonFree(Ppa::new(3)),
+            FlashError::NonSequentialProgram {
+                requested: Ppa::new(4),
+                expected: Ppa::new(5),
+            },
+            FlashError::ReadErased(Ppa::new(6)),
+            FlashError::WornOut(BlockId::new(7)),
+        ];
+        for e in errors {
+            let msg = e.to_string();
+            assert!(!msg.is_empty());
+            assert!(msg.chars().next().unwrap().is_lowercase());
+        }
+    }
+}

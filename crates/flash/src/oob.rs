@@ -1,0 +1,130 @@
+//! Out-of-band (OOB) reverse-mapping windows.
+//!
+//! Every NAND page carries a small spare area (128–256 B on modern
+//! devices). Conventional FTLs store the page's own reverse mapping (its
+//! LPA) there for GC and recovery. LeaFTL additionally stores the LPAs
+//! of the `2γ+1` *neighbouring* PPAs centred on the page (§3.5), so that
+//! a mispredicted lookup can locate the correct PPA with exactly one
+//! extra flash read.
+//!
+//! The simulator stores the canonical per-page reverse mapping (4 B per
+//! page, as in the paper) and synthesises the neighbour window on
+//! demand from the neighbours' own entries — the exact content the
+//! controller would have staged at program time, with `null` entries
+//! outside the block boundary (Fig. 11). [`OobWindow`] is the view
+//! returned alongside a page read.
+
+use crate::addr::Lpa;
+
+/// The reverse-mapping window carried in a page's OOB area.
+///
+/// `entry(d)` is the LPA of the page at `PPA + d` for `d ∈ [−γ, +γ]`,
+/// or `None` where the paper stores null bytes (block boundaries,
+/// metadata pages, unwritten neighbours).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OobWindow {
+    entries: Vec<Option<Lpa>>,
+    gamma: u32,
+}
+
+impl OobWindow {
+    /// Builds a window from entries ordered `PPA−γ ..= PPA+γ`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `entries.len() != 2 * gamma + 1`.
+    pub fn new(entries: Vec<Option<Lpa>>, gamma: u32) -> Self {
+        assert_eq!(
+            entries.len(),
+            (2 * gamma + 1) as usize,
+            "oob window must hold 2γ+1 entries"
+        );
+        OobWindow { entries, gamma }
+    }
+
+    /// The window radius γ.
+    pub fn gamma(&self) -> u32 {
+        self.gamma
+    }
+
+    /// The page's own reverse mapping (centre entry).
+    pub fn own_lpa(&self) -> Option<Lpa> {
+        self.entries[self.gamma as usize]
+    }
+
+    /// The reverse mapping stored for `PPA + delta`.
+    pub fn entry(&self, delta: i64) -> Option<Lpa> {
+        let idx = self.gamma as i64 + delta;
+        if idx < 0 || idx >= self.entries.len() as i64 {
+            return None;
+        }
+        self.entries[idx as usize]
+    }
+
+    /// All PPA deltas whose stored reverse mapping equals `lpa`
+    /// (§3.5 misprediction recovery). Multiple stale copies of an LPA
+    /// can coexist; the FTL disambiguates with its page-validity table.
+    pub fn find(&self, lpa: Lpa) -> Vec<i64> {
+        self.entries
+            .iter()
+            .enumerate()
+            .filter(|&(_, &entry)| entry == Some(lpa))
+            .map(|(idx, _)| idx as i64 - self.gamma as i64)
+            .collect()
+    }
+
+    /// Bytes this window occupies on flash (4 B per entry, §3.5).
+    pub fn byte_size(&self) -> usize {
+        self.entries.len() * 4
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn window() -> OobWindow {
+        OobWindow::new(
+            vec![
+                Some(Lpa::new(48)),
+                None,
+                Some(Lpa::new(50)),
+                Some(Lpa::new(51)),
+                Some(Lpa::new(48)),
+            ],
+            2,
+        )
+    }
+
+    #[test]
+    fn own_and_neighbors() {
+        let w = window();
+        assert_eq!(w.own_lpa(), Some(Lpa::new(50)));
+        assert_eq!(w.entry(-2), Some(Lpa::new(48)));
+        assert_eq!(w.entry(-1), None);
+        assert_eq!(w.entry(1), Some(Lpa::new(51)));
+        assert_eq!(w.entry(3), None);
+        assert_eq!(w.entry(-3), None);
+    }
+
+    #[test]
+    fn find_returns_all_candidates() {
+        let w = window();
+        assert_eq!(w.find(Lpa::new(48)), vec![-2, 2]);
+        assert_eq!(w.find(Lpa::new(51)), vec![1]);
+        assert!(w.find(Lpa::new(99)).is_empty());
+    }
+
+    #[test]
+    fn byte_size_matches_paper() {
+        // γ=15 on a 128 B OOB: 31 entries * 4 B = 124 B ≤ 128 B.
+        let w = OobWindow::new(vec![None; 31], 15);
+        assert_eq!(w.byte_size(), 124);
+    }
+
+    #[test]
+    #[should_panic(expected = "2γ+1")]
+    fn wrong_arity_panics() {
+        let _ = OobWindow::new(vec![None; 4], 2);
+    }
+}

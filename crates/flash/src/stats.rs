@@ -1,0 +1,62 @@
+//! Operation counters for the flash device.
+
+use serde::{Deserialize, Serialize};
+
+/// Cumulative counts of NAND operations performed by a device.
+///
+/// The simulator derives the write amplification factor (Fig. 25 of the
+/// paper) from `programs` versus the host-issued write count, and uses
+/// `reads`/`erases` for latency accounting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct FlashStats {
+    /// Page reads.
+    pub reads: u64,
+    /// Page programs.
+    pub programs: u64,
+    /// Block erases.
+    pub erases: u64,
+}
+
+impl FlashStats {
+    /// A zeroed counter set.
+    pub fn new() -> Self {
+        FlashStats::default()
+    }
+
+    /// Difference between two snapshots (`self - earlier`).
+    pub fn since(&self, earlier: &FlashStats) -> FlashStats {
+        FlashStats {
+            reads: self.reads - earlier.reads,
+            programs: self.programs - earlier.programs,
+            erases: self.erases - earlier.erases,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn since_subtracts() {
+        let a = FlashStats {
+            reads: 10,
+            programs: 5,
+            erases: 1,
+        };
+        let b = FlashStats {
+            reads: 4,
+            programs: 2,
+            erases: 0,
+        };
+        let d = a.since(&b);
+        assert_eq!(
+            d,
+            FlashStats {
+                reads: 6,
+                programs: 3,
+                erases: 1
+            }
+        );
+    }
+}

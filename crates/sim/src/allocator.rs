@@ -1,0 +1,393 @@
+//! Flash-block allocation with channel striping.
+//!
+//! Hands out runs of physically consecutive pages. Each stream (host
+//! flushes vs GC/wear migrations) keeps one open block *per channel*;
+//! a flush is striped over the channels in contiguous chunks so the
+//! programs proceed in parallel while each chunk still receives
+//! consecutive PPAs — LeaFTL's "allocate consecutive PPAs to contiguous
+//! LPAs at its best effort" (§3.3). Allocation order is recorded for
+//! crash recovery (§3.8): the scanner replays blocks in allocation
+//! order to rebuild mappings newest-last.
+
+use leaftl_flash::{BlockId, FlashGeometry, Ppa};
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+
+/// Allocation stream: host writes vs GC/wear migrations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Stream {
+    /// Host buffer flushes.
+    Host,
+    /// GC and wear-levelling migrations.
+    Gc,
+}
+
+/// A run of consecutive pages within one block.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PageRun {
+    /// Block owning the run.
+    pub block: BlockId,
+    /// First PPA of the run.
+    pub first: Ppa,
+    /// Number of pages.
+    pub len: u32,
+}
+
+impl PageRun {
+    /// Iterates the PPAs of the run.
+    pub fn ppas(&self) -> impl Iterator<Item = Ppa> + '_ {
+        (0..self.len as u64).map(move |i| self.first.offset(i))
+    }
+}
+
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+struct OpenBlock {
+    block: BlockId,
+    next_page: u32,
+}
+
+/// Free-block pools (per channel) plus per-stream, per-channel open
+/// blocks.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct BlockAllocator {
+    geometry: FlashGeometry,
+    /// Preferred chunk size when striping a request across channels.
+    /// Block-sized chunks (the paper's flush granularity) maximise
+    /// learned-segment length; smaller chunks trade segment length for
+    /// lower flush latency on small buffers.
+    stripe_pages: u32,
+    free: Vec<VecDeque<BlockId>>,
+    open_host: Vec<Option<OpenBlock>>,
+    open_gc: Vec<Option<OpenBlock>>,
+    /// Next channel to stripe onto, per stream (round-robin).
+    cursor_host: usize,
+    cursor_gc: usize,
+    /// Blocks in allocation order with a monotonically increasing
+    /// sequence number (for crash recovery).
+    allocation_log: Vec<BlockId>,
+}
+
+impl BlockAllocator {
+    /// All blocks free, partitioned into per-channel pools;
+    /// block-granular striping.
+    pub fn new(geometry: FlashGeometry) -> Self {
+        BlockAllocator::with_stripe(geometry, geometry.pages_per_block)
+    }
+
+    /// Like [`BlockAllocator::new`] with an explicit stripe chunk size.
+    pub fn with_stripe(geometry: FlashGeometry, stripe_pages: u32) -> Self {
+        let channels = geometry.channels as usize;
+        let mut free = vec![VecDeque::new(); channels];
+        for raw in 0..geometry.blocks {
+            let block = BlockId::new(raw);
+            free[geometry.channel_of_block(block).raw() as usize].push_back(block);
+        }
+        BlockAllocator {
+            geometry,
+            stripe_pages: stripe_pages.clamp(1, geometry.pages_per_block),
+            free,
+            open_host: vec![None; channels],
+            open_gc: vec![None; channels],
+            cursor_host: 0,
+            cursor_gc: 0,
+            allocation_log: Vec::new(),
+        }
+    }
+
+    /// Number of fully free blocks (open blocks excluded).
+    pub fn free_blocks(&self) -> usize {
+        self.free.iter().map(VecDeque::len).sum()
+    }
+
+    /// Free fraction of the whole device.
+    pub fn free_fraction(&self) -> f64 {
+        self.free_blocks() as f64 / self.geometry.blocks as f64
+    }
+
+    /// Returns a previously erased block to its channel's pool.
+    pub fn release(&mut self, block: BlockId) {
+        let channel = self.geometry.channel_of_block(block).raw() as usize;
+        debug_assert!(!self.free[channel].contains(&block));
+        self.free[channel].push_back(block);
+    }
+
+    /// Blocks allocated so far, oldest first (crash-recovery scan
+    /// order). The index into this log is the allocation sequence
+    /// number.
+    pub fn allocation_log(&self) -> &[BlockId] {
+        &self.allocation_log
+    }
+
+    /// Current open blocks of a stream (GC must skip them when picking
+    /// victims).
+    pub fn open_blocks(&self, stream: Stream) -> impl Iterator<Item = BlockId> + '_ {
+        match stream {
+            Stream::Host => self.open_host.iter(),
+            Stream::Gc => self.open_gc.iter(),
+        }
+        .filter_map(|open| open.map(|o| o.block))
+    }
+
+    /// Whether `block` is currently open on either stream.
+    pub fn is_open(&self, block: BlockId) -> bool {
+        self.open_blocks(Stream::Host)
+            .chain(self.open_blocks(Stream::Gc))
+            .any(|open| open == block)
+    }
+
+    /// Total pages obtainable right now: room in open blocks plus free
+    /// blocks.
+    fn available_pages(&self, stream: Stream) -> u64 {
+        let opens = match stream {
+            Stream::Host => &self.open_host,
+            Stream::Gc => &self.open_gc,
+        };
+        let open_room: u64 = opens
+            .iter()
+            .flatten()
+            .map(|o| (self.geometry.pages_per_block - o.next_page) as u64)
+            .sum();
+        open_room + self.free_blocks() as u64 * self.geometry.pages_per_block as u64
+    }
+
+    /// Whether a request for `pages` pages on `stream` would succeed
+    /// right now (no side effects).
+    pub fn can_allocate(&self, stream: Stream, pages: u32) -> bool {
+        self.available_pages(stream) >= pages as u64
+    }
+
+    /// Removes a specific block from the free pool (wear levelling
+    /// targets a particular worn block). Returns whether it was free.
+    pub fn take_block(&mut self, block: BlockId) -> bool {
+        let channel = self.geometry.channel_of_block(block).raw() as usize;
+        if let Some(pos) = self.free[channel].iter().position(|&b| b == block) {
+            self.free[channel].remove(pos);
+            self.allocation_log.push(block);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Resets the free pools and open blocks after a crash: the free
+    /// set is re-derived from the physical erase state; open blocks are
+    /// abandoned (their unwritten tail pages are reclaimed by GC). The
+    /// allocation log is preserved — it models the allocation sequence
+    /// numbers real FTLs persist in page OOB.
+    pub fn rebuild_after_crash(&mut self, free: Vec<BlockId>) {
+        let channels = self.geometry.channels as usize;
+        self.free = vec![VecDeque::new(); channels];
+        for block in free {
+            let channel = self.geometry.channel_of_block(block).raw() as usize;
+            self.free[channel].push_back(block);
+        }
+        self.open_host = vec![None; channels];
+        self.open_gc = vec![None; channels];
+        self.cursor_host = 0;
+        self.cursor_gc = 0;
+    }
+
+    /// Allocates `pages` as consecutive-page runs striped across the
+    /// channels, continuing each channel's open block and opening new
+    /// blocks as needed. Returns `None` (allocating nothing) when the
+    /// pools cannot satisfy the request — the caller must GC first.
+    pub fn allocate(&mut self, stream: Stream, pages: u32) -> Option<Vec<PageRun>> {
+        if !self.can_allocate(stream, pages) {
+            return None;
+        }
+        let channels = self.geometry.channels as usize;
+        let stripe = pages
+            .div_ceil(channels as u32)
+            .max(self.stripe_pages)
+            .min(self.geometry.pages_per_block);
+        let mut runs: Vec<PageRun> = Vec::new();
+        let mut remaining = pages;
+        let mut stalled_channels = 0usize;
+        while remaining > 0 {
+            let channel = match stream {
+                Stream::Host => {
+                    let c = self.cursor_host;
+                    self.cursor_host = (self.cursor_host + 1) % channels;
+                    c
+                }
+                Stream::Gc => {
+                    let c = self.cursor_gc;
+                    self.cursor_gc = (self.cursor_gc + 1) % channels;
+                    c
+                }
+            };
+            let Some(run) = self.take_chunk(stream, channel, stripe.min(remaining)) else {
+                stalled_channels += 1;
+                // All channels dry would contradict `can_allocate`;
+                // guard against infinite spin regardless.
+                if stalled_channels > 2 * channels {
+                    debug_assert!(false, "allocator spin despite capacity check");
+                    return None;
+                }
+                continue;
+            };
+            stalled_channels = 0;
+            remaining -= run.len;
+            runs.push(run);
+        }
+        Some(runs)
+    }
+
+    /// Takes up to `want` pages from one channel's open block, opening
+    /// a new block from that channel's pool when needed.
+    fn take_chunk(&mut self, stream: Stream, channel: usize, want: u32) -> Option<PageRun> {
+        let open = match stream {
+            Stream::Host => &mut self.open_host[channel],
+            Stream::Gc => &mut self.open_gc[channel],
+        };
+        let needs_new = match open {
+            Some(slot) => slot.next_page >= self.geometry.pages_per_block,
+            None => true,
+        };
+        if needs_new {
+            let block = self.free[channel].pop_front()?;
+            self.allocation_log.push(block);
+            *open = Some(OpenBlock {
+                block,
+                next_page: 0,
+            });
+        }
+        let slot = match stream {
+            Stream::Host => self.open_host[channel].as_mut(),
+            Stream::Gc => self.open_gc[channel].as_mut(),
+        }
+        .expect("open block just ensured");
+        let room = self.geometry.pages_per_block - slot.next_page;
+        let take = room.min(want);
+        let run = PageRun {
+            block: slot.block,
+            first: self.geometry.ppa(slot.block, slot.next_page),
+            len: take,
+        };
+        slot.next_page += take;
+        Some(run)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use leaftl_flash::FlashGeometry;
+
+    fn allocator() -> BlockAllocator {
+        BlockAllocator::new(FlashGeometry::small_test()) // 4 ch, 64 blocks x 32 pages
+    }
+
+    #[test]
+    fn runs_are_consecutive_within_blocks() {
+        let mut a = allocator();
+        let runs = a.allocate(Stream::Host, 64).unwrap();
+        let total: u32 = runs.iter().map(|r| r.len).sum();
+        assert_eq!(total, 64);
+        for run in &runs {
+            let ppas: Vec<u64> = run.ppas().map(|p| p.raw()).collect();
+            for pair in ppas.windows(2) {
+                assert_eq!(pair[1], pair[0] + 1);
+            }
+        }
+    }
+
+    #[test]
+    fn large_requests_stripe_across_channels() {
+        let geometry = FlashGeometry::small_test();
+        let mut a = BlockAllocator::with_stripe(geometry, 16);
+        let runs = a.allocate(Stream::Host, 64).unwrap();
+        let channels: std::collections::HashSet<u32> = runs
+            .iter()
+            .map(|r| geometry.channel_of_block(r.block).raw())
+            .collect();
+        assert!(channels.len() >= 4, "64 pages should use all 4 channels");
+        for run in &runs {
+            assert!(run.len <= 16);
+        }
+    }
+
+    #[test]
+    fn small_requests_continue_open_blocks() {
+        let mut a = allocator();
+        let first = a.allocate(Stream::Host, 8).unwrap();
+        let second = a.allocate(Stream::Host, 8).unwrap();
+        assert_eq!(first.len(), 1);
+        assert_eq!(second.len(), 1);
+        // Round-robin over channels: the second chunk opens the next
+        // channel's block.
+        assert_ne!(first[0].block, second[0].block);
+    }
+
+    #[test]
+    fn streams_are_independent() {
+        let mut a = allocator();
+        let host = a.allocate(Stream::Host, 4).unwrap();
+        let gc = a.allocate(Stream::Gc, 4).unwrap();
+        assert_ne!(host[0].block, gc[0].block);
+        assert!(a.is_open(host[0].block));
+        assert!(a.is_open(gc[0].block));
+    }
+
+    #[test]
+    fn exhaustion_returns_none_without_side_effects() {
+        let mut a = allocator();
+        let total_pages = 64 * 32;
+        assert!(a.allocate(Stream::Host, total_pages).is_some());
+        assert_eq!(a.free_blocks(), 0);
+        let log_before = a.allocation_log().len();
+        assert!(a.allocate(Stream::Host, 1).is_none());
+        assert_eq!(a.allocation_log().len(), log_before);
+        assert!(!a.can_allocate(Stream::Host, 1));
+    }
+
+    #[test]
+    fn release_recycles_blocks() {
+        let mut a = allocator();
+        let runs = a.allocate(Stream::Host, 32 * 4).unwrap();
+        let before = a.free_blocks();
+        a.release(runs[0].block);
+        assert_eq!(a.free_blocks(), before + 1);
+    }
+
+    #[test]
+    fn take_block_removes_from_pool_and_logs() {
+        let mut a = allocator();
+        let victim = BlockId::new(7);
+        assert!(a.take_block(victim));
+        assert!(!a.take_block(victim));
+        assert!(a.allocation_log().contains(&victim));
+    }
+
+    #[test]
+    fn allocation_log_grows() {
+        let mut a = allocator();
+        a.allocate(Stream::Host, 64).unwrap();
+        assert!(a.allocation_log().len() >= 2);
+    }
+
+    #[test]
+    fn rebuild_after_crash_resets_open_blocks() {
+        let mut a = allocator();
+        a.allocate(Stream::Host, 8).unwrap();
+        let free: Vec<BlockId> = (10..20).map(BlockId::new).collect();
+        a.rebuild_after_crash(free);
+        assert_eq!(a.free_blocks(), 10);
+        assert_eq!(a.open_blocks(Stream::Host).count(), 0);
+        // Allocation works again from the rebuilt pool.
+        assert!(a.allocate(Stream::Host, 8).is_some());
+    }
+
+    #[test]
+    fn capacity_check_counts_open_room() {
+        let geometry = FlashGeometry::small_test();
+        let mut a = BlockAllocator::new(geometry);
+        // Consume all blocks except the open ones' tails.
+        let total = 64 * 32;
+        a.allocate(Stream::Host, total - 8).unwrap();
+        assert!(a.can_allocate(Stream::Host, 8));
+        assert!(!a.can_allocate(Stream::Host, 9));
+        let runs = a.allocate(Stream::Host, 8).unwrap();
+        assert_eq!(runs.iter().map(|r| r.len).sum::<u32>(), 8);
+    }
+}

@@ -1,0 +1,245 @@
+//! Simulator configuration.
+
+use leaftl_flash::{FlashGeometry, NandTiming};
+use serde::{Deserialize, Serialize};
+
+/// How the SSD DRAM is split between mapping structures and the data
+/// cache (the two experimental settings of Fig. 16).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum DramPolicy {
+    /// The mapping side may take as much DRAM as it wants; the data
+    /// cache gets the leftovers (Fig. 16a).
+    MappingFirst,
+    /// The data cache is guaranteed at least this fraction of DRAM; the
+    /// mapping budget is capped at the complement (Fig. 16b uses 0.2).
+    DataFloor(f64),
+}
+
+/// Garbage-collection victim-selection policy (§3.6 uses greedy; the
+/// cost-benefit alternative weighs block age against utilisation and
+/// is provided for ablations).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum GcPolicy {
+    /// Pick the closed block with the fewest valid pages (the paper's
+    /// choice, minimising migration work).
+    Greedy,
+    /// Pick the block maximising `age · (1 − u) / (1 + u)` where `u` is
+    /// the valid-page fraction (Rosenblum & Ousterhout's LFS heuristic):
+    /// prefers old, mostly-stale blocks even over slightly fuller ones.
+    CostBenefit,
+}
+
+/// Full configuration of a simulated SSD.
+///
+/// Defaults mirror Table 1 of the paper: 2 TB capacity, 16 channels,
+/// 4 KB pages, 256 pages/block, 128 B OOB, 1 GB DRAM, 20 %
+/// over-provisioning, 20 µs read / 200 µs program / 1.5 ms erase.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SsdConfig {
+    /// NAND array geometry.
+    pub geometry: FlashGeometry,
+    /// NAND operation latencies.
+    pub timing: NandTiming,
+    /// Total controller DRAM in bytes.
+    pub dram_bytes: usize,
+    /// Over-provisioning ratio: the host-visible capacity is
+    /// `(1 − op_ratio)` of the raw capacity.
+    pub op_ratio: f64,
+    /// DRAM split policy between mapping structures and data cache.
+    pub dram_policy: DramPolicy,
+    /// Write data buffer capacity in pages (paper §3.3 default: 8 MB).
+    /// The buffer is dedicated controller memory, *not* part of
+    /// [`SsdConfig::dram_bytes`] (which funds the mapping structures
+    /// and the read data cache).
+    pub write_buffer_pages: usize,
+    /// Preferred flush stripe chunk in pages. Block-sized chunks (the
+    /// paper's flush granularity) maximise learned-segment length;
+    /// smaller chunks spread small buffers over more channels.
+    pub stripe_pages: u32,
+    /// GC victim-selection policy.
+    pub gc_policy: GcPolicy,
+    /// GC starts when the free-block fraction drops below this.
+    pub gc_low_watermark: f64,
+    /// GC keeps collecting until the free-block fraction reaches this.
+    pub gc_high_watermark: f64,
+    /// Wear levelling triggers when `max − min` block erase counts
+    /// exceed this gap.
+    pub wear_gap_threshold: u32,
+    /// Error bound γ for LeaFTL's approximate segments.
+    pub gamma: u32,
+    /// Host writes between learned-table compactions (paper §3.7
+    /// default: one million). Experiments scale it with the device so
+    /// the steady-state behaviour matches the paper's.
+    pub compaction_interval_writes: u64,
+    /// Whether the write buffer is sorted by LPA before flushing
+    /// (§3.3). Disabling it is the Fig. 7 ablation.
+    pub sort_buffer_on_flush: bool,
+    /// CPU cost charged per mapping-table lookup, in nanoseconds
+    /// (Table 3 measures 40.2–67.5 ns on a Cortex-A72).
+    pub lookup_base_ns: u64,
+    /// Additional lookup cost per extra level visited.
+    pub lookup_per_level_ns: u64,
+    /// CPU cost charged for learning one batch of up to 256 mappings
+    /// (Table 3 measures 9.8–10.8 µs).
+    pub learn_batch_ns: u64,
+}
+
+impl SsdConfig {
+    /// Table 1 configuration (2 TB). Use [`SsdConfig::scaled`] for
+    /// simulations that must fit in host memory.
+    pub fn paper_default() -> Self {
+        SsdConfig {
+            geometry: FlashGeometry::paper_default(),
+            timing: NandTiming::paper_default(),
+            dram_bytes: 1024 * 1024 * 1024,
+            op_ratio: 0.2,
+            dram_policy: DramPolicy::MappingFirst,
+            write_buffer_pages: 2048, // 8 MB of 4 KB pages
+            stripe_pages: 256,        // one block per chunk, as in §3.3
+            gc_policy: GcPolicy::Greedy,
+            gc_low_watermark: 0.08,
+            gc_high_watermark: 0.12,
+            wear_gap_threshold: 16,
+            gamma: 0,
+            compaction_interval_writes: 1_000_000,
+            sort_buffer_on_flush: true,
+            lookup_base_ns: 40,
+            lookup_per_level_ns: 10,
+            learn_batch_ns: 10_000,
+        }
+    }
+
+    /// A proportionally scaled-down SSD: same channel count, page and
+    /// block sizes, with `capacity_bytes` of flash and DRAM scaled by
+    /// the same factor relative to Table 1 (1 GB per 2 TB).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity_bytes` is not a positive multiple of the
+    /// block size.
+    pub fn scaled(capacity_bytes: u64) -> Self {
+        let mut config = SsdConfig::paper_default();
+        config.geometry = FlashGeometry::with_capacity(capacity_bytes);
+        let scale = capacity_bytes as f64 / (2.0 * 1024.0 * 1024.0 * 1024.0 * 1024.0);
+        config.dram_bytes = ((1024.0 * 1024.0 * 1024.0) * scale) as usize;
+        config
+    }
+
+    /// A small configuration for unit and integration tests: 4 channels,
+    /// 64 blocks × 32 pages, tiny write buffer, generous DRAM.
+    pub fn small_test() -> Self {
+        let mut config = SsdConfig::paper_default();
+        config.geometry = FlashGeometry::small_test();
+        config.dram_bytes = 4 * 1024 * 1024;
+        config.write_buffer_pages = 32; // one block
+        config.gc_low_watermark = 0.10;
+        config.gc_high_watermark = 0.15;
+        config
+    }
+
+    /// Host-visible capacity in pages (`(1 − op_ratio)` of raw).
+    pub fn logical_pages(&self) -> u64 {
+        (self.geometry.total_pages() as f64 * (1.0 - self.op_ratio)) as u64
+    }
+
+    /// Host-visible capacity in bytes.
+    pub fn logical_bytes(&self) -> u64 {
+        self.logical_pages() * self.geometry.page_size as u64
+    }
+
+    /// Write buffer footprint in bytes (counted against DRAM).
+    pub fn write_buffer_bytes(&self) -> usize {
+        self.write_buffer_pages * self.geometry.page_size as usize
+    }
+
+    /// DRAM available to mapping structures under the configured policy.
+    pub fn mapping_budget(&self) -> usize {
+        match self.dram_policy {
+            DramPolicy::MappingFirst => self.dram_bytes,
+            DramPolicy::DataFloor(fraction) => {
+                let floor = (self.dram_bytes as f64 * fraction) as usize;
+                self.dram_bytes.saturating_sub(floor)
+            }
+        }
+    }
+
+    /// Validates the configuration, panicking with a descriptive message
+    /// on nonsensical values. Called by `Ssd::new`.
+    pub fn validate(&self) {
+        assert!(self.op_ratio > 0.0 && self.op_ratio < 0.9, "op_ratio out of range");
+        assert!(
+            self.gc_low_watermark < self.gc_high_watermark,
+            "gc watermarks inverted"
+        );
+        assert!(
+            self.gc_high_watermark < self.op_ratio,
+            "gc high watermark must stay below the over-provisioned fraction"
+        );
+        assert!(self.write_buffer_pages >= 1, "write buffer too small");
+        assert!(
+            self.gamma <= self.geometry.max_gamma(),
+            "gamma {} exceeds what the {}-byte OOB can verify (max {})",
+            self.gamma,
+            self.geometry.oob_size,
+            self.geometry.max_gamma()
+        );
+        if let DramPolicy::DataFloor(f) = self.dram_policy {
+            assert!((0.0..1.0).contains(&f), "data floor fraction out of range");
+        }
+    }
+}
+
+impl Default for SsdConfig {
+    fn default() -> Self {
+        SsdConfig::paper_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_default_matches_table1() {
+        let c = SsdConfig::paper_default();
+        assert_eq!(c.geometry.capacity_bytes(), 2u64 << 40);
+        assert_eq!(c.dram_bytes, 1 << 30);
+        assert_eq!(c.timing.read_us(), 20.0);
+        assert!((c.op_ratio - 0.2).abs() < 1e-9);
+        c.validate();
+    }
+
+    #[test]
+    fn scaled_keeps_dram_ratio() {
+        let c = SsdConfig::scaled(16 * 1024 * 1024 * 1024);
+        assert_eq!(c.geometry.capacity_bytes(), 16u64 << 30);
+        // 1 GB per 2 TB => 8 MB per 16 GB.
+        assert_eq!(c.dram_bytes, 8 * 1024 * 1024);
+        c.validate();
+    }
+
+    #[test]
+    fn logical_capacity_respects_op() {
+        let c = SsdConfig::small_test();
+        let total = c.geometry.total_pages();
+        assert_eq!(c.logical_pages(), (total as f64 * 0.8) as u64);
+    }
+
+    #[test]
+    fn mapping_budget_policies() {
+        let mut c = SsdConfig::small_test();
+        c.dram_bytes = 1_000_000;
+        c.dram_policy = DramPolicy::MappingFirst;
+        assert_eq!(c.mapping_budget(), 1_000_000);
+        c.dram_policy = DramPolicy::DataFloor(0.2);
+        assert_eq!(c.mapping_budget(), 800_000);
+    }
+
+    #[test]
+    #[should_panic(expected = "gamma")]
+    fn validate_rejects_oversized_gamma() {
+        let mut c = SsdConfig::small_test();
+        c.gamma = 100;
+        c.validate();
+    }
+}

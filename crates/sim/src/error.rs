@@ -1,0 +1,70 @@
+//! Simulator error type.
+
+use leaftl_flash::{FlashError, Lpa, Ppa};
+use std::error::Error;
+use std::fmt;
+
+/// Errors surfaced by the simulated SSD.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SimError {
+    /// Host address beyond the advertised logical capacity.
+    LpaOutOfRange(Lpa),
+    /// No free blocks remain and GC cannot reclaim any — the device is
+    /// over-filled (should not happen with sane over-provisioning).
+    DeviceFull,
+    /// A NAND-level invariant was violated (FTL logic bug).
+    Flash(FlashError),
+    /// An address prediction could not be resolved to a valid page
+    /// within its error bound (mapping-table logic bug).
+    MappingCorruption {
+        /// The LPA being translated.
+        lpa: Lpa,
+        /// The predicted PPA that failed to resolve.
+        predicted: Ppa,
+    },
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::LpaOutOfRange(lpa) => {
+                write!(f, "logical address {lpa} beyond device capacity")
+            }
+            SimError::DeviceFull => write!(f, "no reclaimable space left on device"),
+            SimError::Flash(e) => write!(f, "flash invariant violated: {e}"),
+            SimError::MappingCorruption { lpa, predicted } => write!(
+                f,
+                "mapping corruption: {lpa} predicted at {predicted} but not found within bound"
+            ),
+        }
+    }
+}
+
+impl Error for SimError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            SimError::Flash(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<FlashError> for SimError {
+    fn from(e: FlashError) -> Self {
+        SimError::Flash(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        let e = SimError::Flash(FlashError::ReadErased(Ppa::new(3)));
+        assert!(e.to_string().contains("flash"));
+        assert!(Error::source(&e).is_some());
+        assert!(Error::source(&SimError::DeviceFull).is_none());
+        assert!(!SimError::LpaOutOfRange(Lpa::new(1)).to_string().is_empty());
+    }
+}

@@ -1,0 +1,64 @@
+//! # Trace-driven SSD simulator
+//!
+//! The evaluation substrate of the LeaFTL reproduction — the equivalent
+//! of the WiscSim simulator the paper builds on (§3.9). It models:
+//!
+//! * a virtual nanosecond clock with per-channel parallelism
+//!   ([`clock`]),
+//! * the controller DRAM split between mapping structures, write
+//!   buffer, and LRU data cache ([`SsdConfig`], [`DramPolicy`]),
+//! * the write path: buffering, LPA-sorted block-granular flushes
+//!   (§3.3), flash programming with OOB reverse mappings,
+//! * the read path: cache lookups, learned/exact address translation,
+//!   OOB-based misprediction recovery with exactly one extra flash
+//!   read in the window case (§3.5),
+//! * greedy garbage collection with LPA-sorted re-learning (§3.6),
+//!   wear levelling, and crash recovery from mapping snapshots plus
+//!   OOB block scans (§3.8).
+//!
+//! FTL mapping schemes plug in through the [`MappingScheme`] trait:
+//! [`LeaFtlScheme`] adapts the learned table from `leaftl-core`;
+//! DFTL and SFTL live in `leaftl-baselines`; [`ExactPageMap`] is the
+//! in-DRAM oracle.
+//!
+//! ```
+//! use leaftl_core::LeaFtlConfig;
+//! use leaftl_flash::Lpa;
+//! use leaftl_sim::{LeaFtlScheme, Ssd, SsdConfig};
+//!
+//! # fn main() -> Result<(), leaftl_sim::SimError> {
+//! let scheme = LeaFtlScheme::new(LeaFtlConfig::default());
+//! let mut ssd = Ssd::new(SsdConfig::small_test(), scheme);
+//! for i in 0..64 {
+//!     ssd.write(Lpa::new(i), i * 7)?;
+//! }
+//! assert_eq!(ssd.read(Lpa::new(10))?, Some(70));
+//! // 64 sequential pages learned as a couple of 8-byte segments.
+//! assert!(ssd.mapping_bytes() <= 32);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod allocator;
+pub mod buffer;
+pub mod clock;
+pub mod lru;
+pub mod validity;
+mod config;
+mod error;
+mod leaftl_scheme;
+mod mapping;
+mod replay;
+mod ssd;
+mod stats;
+
+pub use config::{DramPolicy, GcPolicy, SsdConfig};
+pub use error::SimError;
+pub use leaftl_scheme::LeaFtlScheme;
+pub use mapping::{ExactPageMap, MapCost, MappingLookup, MappingScheme};
+pub use replay::{replay, HostOp, ReplayReport};
+pub use ssd::{RecoveryReport, Ssd};
+pub use stats::{FlashOpBreakdown, LatencyHistogram, SimStats};

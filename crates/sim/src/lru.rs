@@ -1,0 +1,334 @@
+//! A byte-budgeted LRU used for the data cache and for demand-cached
+//! mapping structures (DFTL's CMT, SFTL's condensed pages, LeaFTL's
+//! group cache).
+
+use std::collections::HashMap;
+use std::hash::Hash;
+
+/// One resident entry.
+#[derive(Debug, Clone)]
+struct Slot<K, V> {
+    key: K,
+    value: V,
+    bytes: usize,
+    dirty: bool,
+    prev: usize,
+    next: usize,
+}
+
+/// Least-recently-used cache with per-entry byte sizes and dirty flags.
+///
+/// Eviction is the caller's decision (`pop_lru`) so that writers can
+/// account for write-back costs of dirty victims.
+#[derive(Debug, Clone)]
+pub struct LruCache<K, V> {
+    slots: Vec<Slot<K, V>>,
+    free: Vec<usize>,
+    index: HashMap<K, usize>,
+    head: usize, // most recent
+    tail: usize, // least recent
+    bytes: usize,
+}
+
+const NIL: usize = usize::MAX;
+
+impl<K: Eq + Hash + Clone, V> LruCache<K, V> {
+    /// An empty cache.
+    pub fn new() -> Self {
+        LruCache {
+            slots: Vec::new(),
+            free: Vec::new(),
+            index: HashMap::new(),
+            head: NIL,
+            tail: NIL,
+            bytes: 0,
+        }
+    }
+
+    /// Number of resident entries.
+    pub fn len(&self) -> usize {
+        self.index.len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.index.is_empty()
+    }
+
+    /// Total bytes of resident entries.
+    pub fn bytes(&self) -> usize {
+        self.bytes
+    }
+
+    /// Whether `key` is resident, without promoting it.
+    pub fn contains(&self, key: &K) -> bool {
+        self.index.contains_key(key)
+    }
+
+    /// Reads an entry and promotes it to most-recently-used.
+    pub fn get(&mut self, key: &K) -> Option<&V> {
+        let idx = *self.index.get(key)?;
+        self.promote(idx);
+        Some(&self.slots[idx].value)
+    }
+
+    /// Reads without promotion.
+    pub fn peek(&self, key: &K) -> Option<&V> {
+        self.index.get(key).map(|&idx| &self.slots[idx].value)
+    }
+
+    /// Inserts or replaces an entry with the given byte size, promoting
+    /// it. Returns the previous value if the key was resident.
+    pub fn insert(&mut self, key: K, value: V, bytes: usize, dirty: bool) -> Option<V> {
+        if let Some(&idx) = self.index.get(&key) {
+            self.bytes = self.bytes - self.slots[idx].bytes + bytes;
+            let slot = &mut self.slots[idx];
+            slot.bytes = bytes;
+            slot.dirty = slot.dirty || dirty;
+            let old = std::mem::replace(&mut slot.value, value);
+            self.promote(idx);
+            return Some(old);
+        }
+        let idx = if let Some(idx) = self.free.pop() {
+            self.slots[idx] = Slot {
+                key: key.clone(),
+                value,
+                bytes,
+                dirty,
+                prev: NIL,
+                next: NIL,
+            };
+            idx
+        } else {
+            self.slots.push(Slot {
+                key: key.clone(),
+                value,
+                bytes,
+                dirty,
+                prev: NIL,
+                next: NIL,
+            });
+            self.slots.len() - 1
+        };
+        self.index.insert(key, idx);
+        self.bytes += bytes;
+        self.attach_front(idx);
+        None
+    }
+
+    /// Marks a resident entry dirty (no promotion).
+    pub fn mark_dirty(&mut self, key: &K) {
+        if let Some(&idx) = self.index.get(key) {
+            self.slots[idx].dirty = true;
+        }
+    }
+
+    /// Whether a resident entry is dirty.
+    pub fn is_dirty(&self, key: &K) -> bool {
+        self.index
+            .get(key)
+            .is_some_and(|&idx| self.slots[idx].dirty)
+    }
+
+    /// Updates the byte accounting of a resident entry (e.g. a condensed
+    /// translation page whose run count changed).
+    pub fn resize(&mut self, key: &K, bytes: usize) {
+        if let Some(&idx) = self.index.get(key) {
+            self.bytes = self.bytes - self.slots[idx].bytes + bytes;
+            self.slots[idx].bytes = bytes;
+        }
+    }
+
+    /// Removes an entry, returning `(value, was_dirty)`. The vacated
+    /// arena slot is recycled; a `Default` placeholder fills it (every
+    /// cache value in this crate is `Default`).
+    pub fn remove(&mut self, key: &K) -> Option<(V, bool)>
+    where
+        V: Default,
+    {
+        let idx = self.index.remove(key)?;
+        self.detach(idx);
+        self.bytes -= self.slots[idx].bytes;
+        self.free.push(idx);
+        let slot = &mut self.slots[idx];
+        slot.bytes = 0;
+        let dirty = slot.dirty;
+        let value = std::mem::take(&mut slot.value);
+        Some((value, dirty))
+    }
+
+    /// Evicts the least-recently-used entry, returning
+    /// `(key, value, was_dirty)`.
+    pub fn pop_lru(&mut self) -> Option<(K, V, bool)>
+    where
+        V: Default,
+    {
+        if self.tail == NIL {
+            return None;
+        }
+        let key = self.slots[self.tail].key.clone();
+        let (value, dirty) = self.remove(&key)?;
+        Some((key, value, dirty))
+    }
+
+    /// Iterates resident keys from most to least recently used.
+    pub fn keys_mru(&self) -> impl Iterator<Item = &K> {
+        MruIter {
+            cache: self,
+            cursor: self.head,
+        }
+    }
+
+    fn promote(&mut self, idx: usize) {
+        if self.head == idx {
+            return;
+        }
+        self.detach(idx);
+        self.attach_front(idx);
+    }
+
+    fn attach_front(&mut self, idx: usize) {
+        self.slots[idx].prev = NIL;
+        self.slots[idx].next = self.head;
+        if self.head != NIL {
+            self.slots[self.head].prev = idx;
+        }
+        self.head = idx;
+        if self.tail == NIL {
+            self.tail = idx;
+        }
+    }
+
+    fn detach(&mut self, idx: usize) {
+        let (prev, next) = (self.slots[idx].prev, self.slots[idx].next);
+        if prev != NIL {
+            self.slots[prev].next = next;
+        } else {
+            self.head = next;
+        }
+        if next != NIL {
+            self.slots[next].prev = prev;
+        } else {
+            self.tail = prev;
+        }
+        self.slots[idx].prev = NIL;
+        self.slots[idx].next = NIL;
+    }
+}
+
+struct MruIter<'a, K, V> {
+    cache: &'a LruCache<K, V>,
+    cursor: usize,
+}
+
+impl<'a, K: Eq + Hash + Clone, V> Iterator for MruIter<'a, K, V> {
+    type Item = &'a K;
+
+    fn next(&mut self) -> Option<&'a K> {
+        if self.cursor == NIL {
+            return None;
+        }
+        let slot = &self.cache.slots[self.cursor];
+        self.cursor = slot.next;
+        Some(&slot.key)
+    }
+}
+
+impl<K: Eq + Hash + Clone, V> Default for LruCache<K, V> {
+    fn default() -> Self {
+        LruCache::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_get_promotes() {
+        let mut lru: LruCache<u32, u64> = LruCache::new();
+        lru.insert(1, 10, 8, false);
+        lru.insert(2, 20, 8, false);
+        lru.insert(3, 30, 8, false);
+        assert_eq!(lru.get(&1), Some(&10)); // promote 1
+        let (key, value, dirty) = lru.pop_lru().unwrap();
+        assert_eq!((key, value, dirty), (2, 20, false));
+    }
+
+    #[test]
+    fn byte_accounting() {
+        let mut lru: LruCache<u32, u64> = LruCache::new();
+        lru.insert(1, 0, 100, false);
+        lru.insert(2, 0, 50, false);
+        assert_eq!(lru.bytes(), 150);
+        lru.resize(&1, 80);
+        assert_eq!(lru.bytes(), 130);
+        lru.remove(&2);
+        assert_eq!(lru.bytes(), 80);
+        assert_eq!(lru.len(), 1);
+    }
+
+    #[test]
+    fn dirty_tracking() {
+        let mut lru: LruCache<u32, u64> = LruCache::new();
+        lru.insert(1, 0, 8, false);
+        assert!(!lru.is_dirty(&1));
+        lru.mark_dirty(&1);
+        assert!(lru.is_dirty(&1));
+        // Re-inserting clean keeps the dirty bit (write-back still owed).
+        lru.insert(1, 1, 8, false);
+        assert!(lru.is_dirty(&1));
+        let (_, _, dirty) = lru.pop_lru().unwrap();
+        assert!(dirty);
+    }
+
+    #[test]
+    fn reinsert_replaces_value_and_bytes() {
+        let mut lru: LruCache<u32, u64> = LruCache::new();
+        lru.insert(7, 1, 10, false);
+        let old = lru.insert(7, 2, 20, true);
+        assert_eq!(old, Some(1));
+        assert_eq!(lru.bytes(), 20);
+        assert_eq!(lru.len(), 1);
+        assert!(lru.is_dirty(&7));
+    }
+
+    #[test]
+    fn pop_order_is_lru() {
+        let mut lru: LruCache<u32, u32> = LruCache::new();
+        for i in 0..5 {
+            lru.insert(i, i, 1, false);
+        }
+        lru.get(&0);
+        lru.get(&2);
+        let order: Vec<u32> = std::iter::from_fn(|| lru.pop_lru().map(|(k, _, _)| k)).collect();
+        assert_eq!(order, vec![1, 3, 4, 0, 2]);
+    }
+
+    #[test]
+    fn mru_iteration() {
+        let mut lru: LruCache<u32, u32> = LruCache::new();
+        lru.insert(1, 0, 1, false);
+        lru.insert(2, 0, 1, false);
+        lru.get(&1);
+        let keys: Vec<u32> = lru.keys_mru().copied().collect();
+        assert_eq!(keys, vec![1, 2]);
+    }
+
+    #[test]
+    fn slot_recycling() {
+        let mut lru: LruCache<u32, u32> = LruCache::new();
+        for i in 0..100 {
+            lru.insert(i, i, 1, false);
+        }
+        for _ in 0..50 {
+            lru.pop_lru();
+        }
+        for i in 100..150 {
+            lru.insert(i, i, 1, false);
+        }
+        // Arena should have been reused, not grown past 100 slots.
+        assert!(lru.slots.len() <= 100);
+        assert_eq!(lru.len(), 100);
+    }
+}

@@ -1,0 +1,159 @@
+//! Page validity tracking: the Block Validity Counter (BVC) and Page
+//! Validity Table (PVT) of Fig. 3 in the paper.
+
+use leaftl_flash::{BlockId, FlashGeometry, Ppa};
+use serde::{Deserialize, Serialize};
+
+/// BVC + PVT: per-block valid-page counters backed by bitmaps.
+///
+/// GC consults the counters to pick min-valid victims and the bitmaps to
+/// find the pages to migrate.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Validity {
+    geometry: FlashGeometry,
+    /// PVT: one bit per page.
+    bitmaps: Vec<u64>,
+    /// BVC: valid pages per block.
+    counts: Vec<u32>,
+}
+
+impl Validity {
+    /// All pages invalid (nothing written yet).
+    pub fn new(geometry: FlashGeometry) -> Self {
+        let words = (geometry.total_pages() as usize).div_ceil(64);
+        Validity {
+            geometry,
+            bitmaps: vec![0; words],
+            counts: vec![0; geometry.blocks as usize],
+        }
+    }
+
+    fn locate(&self, ppa: Ppa) -> (usize, u64) {
+        let raw = ppa.raw();
+        ((raw / 64) as usize, 1u64 << (raw % 64))
+    }
+
+    /// Whether a page holds live data.
+    pub fn is_valid(&self, ppa: Ppa) -> bool {
+        let (word, bit) = self.locate(ppa);
+        self.bitmaps[word] & bit != 0
+    }
+
+    /// Marks a freshly programmed page live.
+    pub fn mark_valid(&mut self, ppa: Ppa) {
+        let (word, bit) = self.locate(ppa);
+        if self.bitmaps[word] & bit == 0 {
+            self.bitmaps[word] |= bit;
+            self.counts[self.geometry.block_of(ppa).raw() as usize] += 1;
+        }
+    }
+
+    /// Marks a page stale (its LPA was rewritten elsewhere). Idempotent.
+    pub fn invalidate(&mut self, ppa: Ppa) {
+        let (word, bit) = self.locate(ppa);
+        if self.bitmaps[word] & bit != 0 {
+            self.bitmaps[word] &= !bit;
+            self.counts[self.geometry.block_of(ppa).raw() as usize] -= 1;
+        }
+    }
+
+    /// Valid-page count of a block (the BVC entry).
+    pub fn valid_count(&self, block: BlockId) -> u32 {
+        self.counts[block.raw() as usize]
+    }
+
+    /// Clears every bit of a block after erase.
+    pub fn clear_block(&mut self, block: BlockId) {
+        for page in 0..self.geometry.pages_per_block {
+            let ppa = self.geometry.ppa(block, page);
+            self.invalidate(ppa);
+        }
+    }
+
+    /// PPAs of the live pages in a block, in page order.
+    pub fn valid_pages(&self, block: BlockId) -> Vec<Ppa> {
+        (0..self.geometry.pages_per_block)
+            .map(|page| self.geometry.ppa(block, page))
+            .filter(|&ppa| self.is_valid(ppa))
+            .collect()
+    }
+
+    /// Total live pages on the device.
+    pub fn total_valid(&self) -> u64 {
+        self.counts.iter().map(|&c| c as u64).sum()
+    }
+
+    /// The programmed-but-stale page count of a block, given how many
+    /// pages were programmed.
+    pub fn stale_count(&self, block: BlockId, programmed: u32) -> u32 {
+        programmed - self.valid_count(block)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn validity() -> Validity {
+        Validity::new(FlashGeometry::small_test())
+    }
+
+    #[test]
+    fn mark_and_invalidate() {
+        let mut v = validity();
+        let ppa = Ppa::new(5);
+        assert!(!v.is_valid(ppa));
+        v.mark_valid(ppa);
+        assert!(v.is_valid(ppa));
+        assert_eq!(v.valid_count(BlockId::new(0)), 1);
+        v.invalidate(ppa);
+        assert!(!v.is_valid(ppa));
+        assert_eq!(v.valid_count(BlockId::new(0)), 0);
+    }
+
+    #[test]
+    fn idempotent_operations() {
+        let mut v = validity();
+        let ppa = Ppa::new(40); // block 1
+        v.mark_valid(ppa);
+        v.mark_valid(ppa);
+        assert_eq!(v.valid_count(BlockId::new(1)), 1);
+        v.invalidate(ppa);
+        v.invalidate(ppa);
+        assert_eq!(v.valid_count(BlockId::new(1)), 0);
+    }
+
+    #[test]
+    fn valid_pages_in_order() {
+        let mut v = validity();
+        v.mark_valid(Ppa::new(3));
+        v.mark_valid(Ppa::new(1));
+        v.mark_valid(Ppa::new(31));
+        assert_eq!(
+            v.valid_pages(BlockId::new(0)),
+            vec![Ppa::new(1), Ppa::new(3), Ppa::new(31)]
+        );
+        assert!(v.valid_pages(BlockId::new(1)).is_empty());
+    }
+
+    #[test]
+    fn clear_block_resets_counts() {
+        let mut v = validity();
+        for i in 0..10 {
+            v.mark_valid(Ppa::new(i));
+        }
+        assert_eq!(v.valid_count(BlockId::new(0)), 10);
+        v.clear_block(BlockId::new(0));
+        assert_eq!(v.valid_count(BlockId::new(0)), 0);
+        assert_eq!(v.total_valid(), 0);
+    }
+
+    #[test]
+    fn stale_count() {
+        let mut v = validity();
+        v.mark_valid(Ppa::new(0));
+        v.mark_valid(Ppa::new(1));
+        v.invalidate(Ppa::new(0));
+        assert_eq!(v.stale_count(BlockId::new(0), 2), 1);
+    }
+}

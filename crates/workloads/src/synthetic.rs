@@ -1,0 +1,121 @@
+//! Elementary synthetic patterns: the building blocks the paper's
+//! Fig. 1 illustrates (sequential, strided, irregular) plus classic
+//! uniform-random and Zipf point workloads. Useful for targeted
+//! experiments and as warm-up mixes.
+
+use crate::profile::ProfileParams;
+
+/// Pure sequential streaming (e.g. media ingest): long runs, almost no
+/// randomness. LeaFTL and SFTL both condense this maximally.
+pub fn sequential_stream() -> ProfileParams {
+    ProfileParams {
+        name: "seq-stream".to_string(),
+        read_ratio: 0.2,
+        seq_fraction: 0.98,
+        stride_fraction: 0.0,
+        mean_run_pages: 128,
+        zipf_theta: 0.0,
+        working_set: 0.9,
+    }
+}
+
+/// Pure strided records (e.g. fixed-stride column accesses): the
+/// pattern only LeaFTL condenses (Fig. 1 B).
+pub fn strided_records() -> ProfileParams {
+    ProfileParams {
+        name: "strided".to_string(),
+        read_ratio: 0.3,
+        seq_fraction: 0.0,
+        stride_fraction: 0.95,
+        mean_run_pages: 32,
+        zipf_theta: 0.0,
+        working_set: 0.5,
+    }
+}
+
+/// Uniform random single pages: the adversarial case — every scheme
+/// degrades to one entry per page (§3.1 worst case).
+pub fn uniform_random() -> ProfileParams {
+    ProfileParams {
+        name: "uniform".to_string(),
+        read_ratio: 0.5,
+        seq_fraction: 0.0,
+        stride_fraction: 0.0,
+        mean_run_pages: 1,
+        zipf_theta: 0.0,
+        working_set: 0.8,
+    }
+}
+
+/// Skewed point accesses (cache-friendly hot set).
+pub fn zipf_hot() -> ProfileParams {
+    ProfileParams {
+        name: "zipf-hot".to_string(),
+        read_ratio: 0.7,
+        seq_fraction: 0.05,
+        stride_fraction: 0.05,
+        mean_run_pages: 4,
+        zipf_theta: 1.2,
+        working_set: 0.4,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use leaftl_sim::HostOp;
+
+    fn mean_pages(ops: &[HostOp]) -> f64 {
+        ops.iter().map(|o| o.page_count() as f64).sum::<f64>() / ops.len() as f64
+    }
+
+    #[test]
+    fn sequential_stream_is_long_runs() {
+        let ops = sequential_stream().generate(1 << 20, 2000, 1);
+        assert!(mean_pages(&ops) > 30.0);
+    }
+
+    #[test]
+    fn uniform_random_is_single_pages() {
+        let ops = uniform_random().generate(1 << 20, 2000, 2);
+        assert!(mean_pages(&ops) < 1.5);
+    }
+
+    #[test]
+    fn strided_profile_emits_constant_strides() {
+        let ops = strided_records().generate(1 << 20, 400, 3);
+        // Find at least one run of ≥3 constant-stride single-page ops.
+        let lpas: Vec<u64> = ops
+            .iter()
+            .filter(|o| o.page_count() == 1)
+            .map(|o| match *o {
+                HostOp::Read { lpa, .. } | HostOp::Write { lpa, .. } => lpa.raw(),
+            })
+            .collect();
+        let mut found = false;
+        for w in lpas.windows(4) {
+            let d1 = w[1].wrapping_sub(w[0]);
+            let d2 = w[2].wrapping_sub(w[1]);
+            let d3 = w[3].wrapping_sub(w[2]);
+            if d1 == d2 && d2 == d3 && (2..=8).contains(&d1) {
+                found = true;
+                break;
+            }
+        }
+        assert!(found, "no constant-stride run found");
+    }
+
+    #[test]
+    fn zipf_hot_concentrates() {
+        let ops = zipf_hot().generate(1 << 20, 5000, 4);
+        let mut counts = std::collections::HashMap::new();
+        for op in &ops {
+            let lpa = match *op {
+                HostOp::Read { lpa, .. } | HostOp::Write { lpa, .. } => lpa.raw(),
+            };
+            *counts.entry(lpa).or_insert(0u32) += 1;
+        }
+        let max = counts.values().max().copied().unwrap_or(0);
+        assert!(max > 10, "hottest page hit only {max} times");
+    }
+}

@@ -1,0 +1,189 @@
+//! Zipfian sampling over page ranges.
+//!
+//! The YCSB-style generator (Gray et al., *Quickly Generating
+//! Billion-Record Synthetic Databases*): ranks follow a Zipf
+//! distribution with skew `theta`; a multiplicative hash scrambles the
+//! ranks across the address space so hot pages are not physically
+//! adjacent (which would make skew trivially learnable and bias the
+//! segment-length results).
+
+use rand::Rng;
+
+/// Zipfian rank sampler with scrambling.
+#[derive(Debug, Clone)]
+pub struct Zipf {
+    items: u64,
+    theta: f64,
+    zetan: f64,
+    alpha: f64,
+    eta: f64,
+}
+
+impl Zipf {
+    /// A sampler over `items` ranks with skew `theta` (`0 < theta < 2`,
+    /// typical values 0.6–1.2; larger = more skewed). `theta == 0`
+    /// degenerates to uniform.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `items == 0` or `theta` is not in `[0, 2)` or equals 1
+    /// (the harmonic singularity; use 0.99 or 1.01).
+    pub fn new(items: u64, theta: f64) -> Self {
+        assert!(items > 0, "zipf needs at least one item");
+        assert!((0.0..2.0).contains(&theta) && (theta - 1.0).abs() > 1e-9,
+            "theta {theta} out of range (and theta=1 is singular)");
+        if theta == 0.0 {
+            return Zipf {
+                items,
+                theta,
+                zetan: 0.0,
+                alpha: 0.0,
+                eta: 0.0,
+            };
+        }
+        let zetan = Self::zeta(items, theta);
+        let zeta2 = Self::zeta(2.min(items), theta);
+        let alpha = 1.0 / (1.0 - theta);
+        let eta = (1.0 - (2.0 / items as f64).powf(1.0 - theta)) / (1.0 - zeta2 / zetan);
+        Zipf {
+            items,
+            theta,
+            zetan,
+            alpha,
+            eta,
+        }
+    }
+
+    fn zeta(n: u64, theta: f64) -> f64 {
+        // Exact for small n; integral approximation for large n keeps
+        // construction O(1) over multi-million-page spans.
+        const EXACT_LIMIT: u64 = 100_000;
+        if n <= EXACT_LIMIT {
+            (1..=n).map(|i| 1.0 / (i as f64).powf(theta)).sum()
+        } else {
+            let head: f64 = (1..=EXACT_LIMIT)
+                .map(|i| 1.0 / (i as f64).powf(theta))
+                .sum();
+            // ∫_{EXACT_LIMIT}^{n} x^-theta dx
+            let tail = ((n as f64).powf(1.0 - theta)
+                - (EXACT_LIMIT as f64).powf(1.0 - theta))
+                / (1.0 - theta);
+            head + tail
+        }
+    }
+
+    /// Number of ranks.
+    pub fn items(&self) -> u64 {
+        self.items
+    }
+
+    /// Samples a rank in `[0, items)`; rank 0 is the hottest.
+    pub fn sample_rank<R: Rng>(&self, rng: &mut R) -> u64 {
+        if self.theta == 0.0 {
+            return rng.gen_range(0..self.items);
+        }
+        let u: f64 = rng.gen();
+        let uz = u * self.zetan;
+        if uz < 1.0 {
+            return 0;
+        }
+        if uz < 1.0 + 0.5f64.powf(self.theta) {
+            return 1;
+        }
+        let rank = (self.items as f64 * (self.eta * u - self.eta + 1.0).powf(self.alpha)) as u64;
+        rank.min(self.items - 1)
+    }
+
+    /// Samples a *scrambled* item: the rank is spread over the space by
+    /// a multiplicative hash, so hot items are scattered.
+    pub fn sample_scrambled<R: Rng>(&self, rng: &mut R) -> u64 {
+        let rank = self.sample_rank(rng);
+        // Fibonacci hashing over the item space.
+        rank.wrapping_mul(0x9e37_79b9_7f4a_7c15) % self.items
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn uniform_when_theta_zero() {
+        let zipf = Zipf::new(1000, 0.0);
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..2000 {
+            let r = zipf.sample_rank(&mut rng);
+            assert!(r < 1000);
+            seen.insert(r);
+        }
+        assert!(seen.len() > 700, "uniform should cover most ranks");
+    }
+
+    #[test]
+    fn skew_concentrates_on_low_ranks() {
+        let zipf = Zipf::new(100_000, 1.1);
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut top10 = 0;
+        const SAMPLES: usize = 20_000;
+        for _ in 0..SAMPLES {
+            if zipf.sample_rank(&mut rng) < 10 {
+                top10 += 1;
+            }
+        }
+        // With theta=1.1, the top-10 ranks draw a large share.
+        assert!(
+            top10 as f64 / SAMPLES as f64 > 0.3,
+            "top-10 share {}",
+            top10 as f64 / SAMPLES as f64
+        );
+    }
+
+    #[test]
+    fn higher_theta_is_more_skewed() {
+        let mut shares = Vec::new();
+        for theta in [0.6, 0.9, 1.2] {
+            let zipf = Zipf::new(10_000, theta);
+            let mut rng = StdRng::seed_from_u64(3);
+            let hot = (0..10_000)
+                .filter(|_| zipf.sample_rank(&mut rng) < 100)
+                .count();
+            shares.push(hot);
+        }
+        assert!(shares[0] < shares[1] && shares[1] < shares[2], "{shares:?}");
+    }
+
+    #[test]
+    fn scrambled_stays_in_range_and_spreads() {
+        let zipf = Zipf::new(4096, 1.1);
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut min = u64::MAX;
+        let mut max = 0;
+        for _ in 0..1000 {
+            let v = zipf.sample_scrambled(&mut rng);
+            assert!(v < 4096);
+            min = min.min(v);
+            max = max.max(v);
+        }
+        // Hot ranks hash across the space rather than clustering at 0.
+        assert!(max > 3000 && min < 1000);
+    }
+
+    #[test]
+    fn large_space_constructs_quickly() {
+        // 512M ranks — the 2 TB page count; must not take O(n) forever.
+        let zipf = Zipf::new(512 * 1024 * 1024, 0.99);
+        let mut rng = StdRng::seed_from_u64(5);
+        for _ in 0..100 {
+            assert!(zipf.sample_rank(&mut rng) < 512 * 1024 * 1024);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "singular")]
+    fn theta_one_rejected() {
+        let _ = Zipf::new(10, 1.0);
+    }
+}

@@ -1,0 +1,91 @@
+//! Replay an evaluation workload against all three FTLs and compare
+//! memory and latency — a miniature of the paper's Fig. 15/16 loop.
+//!
+//! ```text
+//! cargo run --release --example trace_replay [workload] [ops]
+//! # workload ∈ {hm, src2, prxy, prn, usr, home, mail, oltp, tpcc, ...}
+//! ```
+
+use leaftl_repro::baselines::{sftl_full_table_bytes, Dftl, Sftl};
+use leaftl_repro::core::LeaFtlConfig;
+use leaftl_repro::sim::{replay, DramPolicy, LeaFtlScheme, Ssd, SsdConfig};
+use leaftl_repro::workloads::{full_suite, warmup_ops, ProfileParams};
+
+fn config() -> SsdConfig {
+    let mut config = SsdConfig::scaled(1 << 30);
+    config.dram_bytes = 512 << 10;
+    config.write_buffer_pages = 256;
+    config.stripe_pages = 32;
+    config.dram_policy = DramPolicy::DataFloor(0.2);
+    config.compaction_interval_writes = 10_000;
+    config
+}
+
+fn pick_profile(name: &str) -> ProfileParams {
+    full_suite()
+        .into_iter()
+        .find(|p| p.name.to_lowercase().contains(&name.to_lowercase()))
+        .unwrap_or_else(|| {
+            eprintln!("unknown workload `{name}`; using MSR-hm");
+            leaftl_repro::workloads::msr_hm()
+        })
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let profile = pick_profile(args.first().map(String::as_str).unwrap_or("hm"));
+    let ops: usize = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(30_000);
+    let config = config();
+    let logical = config.logical_pages();
+    println!(
+        "replaying {} ({} ops) on a {} MiB SSD with {} KiB DRAM\n",
+        profile.name,
+        ops,
+        config.geometry.capacity_bytes() >> 20,
+        config.dram_bytes >> 10
+    );
+
+    println!(
+        "{:8} {:>12} {:>12} {:>12} {:>10} {:>8}",
+        "scheme", "mean µs", "read µs", "map bytes", "cache hit", "WAF"
+    );
+    macro_rules! run {
+        ($name:expr, $ssd:expr, $full:expr) => {{
+            let mut ssd = $ssd;
+            replay(&mut ssd, warmup_ops(logical, 0.75))?;
+            replay(&mut ssd, profile.generate(logical, ops / 5, 7))?;
+            ssd.flush()?;
+            ssd.reset_stats();
+            let report = replay(&mut ssd, profile.generate(logical, ops, 42))?;
+            let full: usize = $full(&ssd);
+            println!(
+                "{:8} {:>12.1} {:>12.1} {:>12} {:>9.1}% {:>8.3}",
+                $name,
+                report.mean_latency_us(),
+                report.mean_read_latency_us(),
+                full,
+                ssd.stats().cache_hit_ratio() * 100.0,
+                ssd.stats().waf()
+            );
+        }};
+    }
+    run!("DFTL", Ssd::new(config.clone(), Dftl::new()), |ssd: &Ssd<
+        Dftl,
+    >| ssd
+        .scheme()
+        .full_table_bytes());
+    run!(
+        "SFTL",
+        Ssd::new(config.clone(), Sftl::new()),
+        |ssd: &Ssd<Sftl>| sftl_full_table_bytes(ssd.scheme())
+    );
+    run!(
+        "LeaFTL",
+        Ssd::new(
+            config.clone(),
+            LeaFtlScheme::new(LeaFtlConfig::default().with_compaction_interval(10_000))
+        ),
+        |ssd: &Ssd<LeaFtlScheme>| ssd.scheme().table().memory_bytes().total()
+    );
+    Ok(())
+}

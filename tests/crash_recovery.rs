@@ -1,0 +1,163 @@
+//! Crash-consistency integration tests (§3.8 of the paper): flushed
+//! data survives arbitrary power cuts; buffered data is lost (no
+//! battery-backed DRAM in the prototype, §5); recovery scan time is
+//! bounded by the snapshot age.
+
+use leaftl_repro::baselines::Dftl;
+use leaftl_repro::core::LeaFtlConfig;
+use leaftl_repro::flash::Lpa;
+use leaftl_repro::sim::{LeaFtlScheme, MappingScheme, Ssd, SsdConfig};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::HashMap;
+
+/// Writes a deterministic mixed pattern, tracking what was flushed.
+/// Returns (flushed shadow, buffered-at-crash count).
+fn churn<S: MappingScheme + Clone>(
+    ssd: &mut Ssd<S>,
+    seed: u64,
+    ops: usize,
+) -> HashMap<u64, u64> {
+    let logical = ssd.config().logical_pages();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut shadow = HashMap::new();
+    // Content values are globally monotonic so "newer value" comparisons
+    // hold across repeated churn rounds on the same device.
+    let mut content = seed * 1_000_000_000;
+    for _ in 0..ops {
+        let start = rng.gen_range(0..logical / 2);
+        let len = rng.gen_range(1..12u64).min(logical - start);
+        for j in 0..len {
+            content += 1;
+            ssd.write(Lpa::new(start + j), content).unwrap();
+            shadow.insert(start + j, content);
+        }
+    }
+    shadow
+}
+
+/// Replays the shadow against the recovered device, allowing only the
+/// lost-buffer divergence: a mismatching LPA must correspond to a write
+/// newer than the crash-surviving version.
+fn verify_recovered<S: MappingScheme + Clone>(
+    ssd: &mut Ssd<S>,
+    shadow: &HashMap<u64, u64>,
+    lost: usize,
+) {
+    let mut divergent = 0usize;
+    for (&lpa, &expected) in shadow {
+        let got = ssd.read(Lpa::new(lpa)).unwrap();
+        match got {
+            Some(v) if v == expected => {}
+            Some(v) => {
+                // An older version: only possible for data still in the
+                // buffer at crash time.
+                assert!(v < expected, "lpa {lpa}: future value {v} > {expected}");
+                divergent += 1;
+            }
+            None => divergent += 1,
+        }
+    }
+    assert!(
+        divergent <= lost,
+        "divergent {divergent} exceeds lost buffered writes {lost}"
+    );
+}
+
+#[test]
+fn leaftl_crash_after_churn_gamma0() {
+    let scheme = LeaFtlScheme::new(LeaFtlConfig::default());
+    let mut ssd = Ssd::new(SsdConfig::small_test(), scheme);
+    let shadow = churn(&mut ssd, 11, 400);
+    let report = ssd.crash_and_recover().unwrap();
+    verify_recovered(&mut ssd, &shadow, report.lost_buffered_writes);
+}
+
+#[test]
+fn leaftl_crash_after_churn_gamma4() {
+    let mut config = SsdConfig::small_test();
+    config.gamma = 4;
+    let scheme = LeaFtlScheme::new(LeaFtlConfig::default().with_gamma(4));
+    let mut ssd = Ssd::new(config, scheme);
+    let shadow = churn(&mut ssd, 22, 400);
+    let report = ssd.crash_and_recover().unwrap();
+    verify_recovered(&mut ssd, &shadow, report.lost_buffered_writes);
+    // Device stays fully operational after recovery.
+    let shadow2 = churn(&mut ssd, 23, 100);
+    for (&lpa, &v) in shadow2.iter().take(50) {
+        let got = ssd.read(Lpa::new(lpa)).unwrap();
+        assert!(got == Some(v) || got < Some(v));
+    }
+}
+
+#[test]
+fn dftl_crash_recovery_matches() {
+    let mut ssd = Ssd::new(SsdConfig::small_test(), Dftl::new());
+    let shadow = churn(&mut ssd, 33, 400);
+    let report = ssd.crash_and_recover().unwrap();
+    verify_recovered(&mut ssd, &shadow, report.lost_buffered_writes);
+}
+
+#[test]
+fn snapshot_shrinks_scan() {
+    let scheme = LeaFtlScheme::new(LeaFtlConfig::default());
+    let mut ssd = Ssd::new(SsdConfig::small_test(), scheme);
+    let shadow = churn(&mut ssd, 44, 300);
+    // Crash without snapshot: scans everything programmed.
+    let mut cold = ssd.clone();
+    let cold_report = cold.crash_and_recover().unwrap();
+
+    // Same state with a snapshot right before the crash: tiny scan.
+    ssd.take_snapshot();
+    let warm_report = ssd.crash_and_recover().unwrap();
+    assert!(
+        warm_report.scanned_blocks < cold_report.scanned_blocks,
+        "warm {} !< cold {}",
+        warm_report.scanned_blocks,
+        cold_report.scanned_blocks
+    );
+    assert!(warm_report.scan_time_ns <= cold_report.scan_time_ns);
+    verify_recovered(&mut ssd, &shadow, warm_report.lost_buffered_writes);
+}
+
+#[test]
+fn repeated_crashes_are_survivable() {
+    let scheme = LeaFtlScheme::new(LeaFtlConfig::default());
+    let mut ssd = Ssd::new(SsdConfig::small_test(), scheme);
+    let mut shadow = HashMap::new();
+    for round in 0..5u64 {
+        let newer = churn(&mut ssd, 100 + round, 120);
+        let report = ssd.crash_and_recover().unwrap();
+        // Keep only versions that can have survived.
+        for (lpa, v) in newer {
+            shadow.insert(lpa, v);
+        }
+        let _ = report;
+        // Spot-check integrity: recovered values never exceed the
+        // newest written version and are never phantom.
+        for (&lpa, &v) in shadow.iter().take(40) {
+            let got = ssd.read(Lpa::new(lpa)).unwrap();
+            assert!(got.is_none() || got.unwrap() <= v, "lpa {lpa}");
+        }
+    }
+}
+
+#[test]
+fn crash_with_gc_history_recovers() {
+    // Force GC before the crash so recovery deals with migrated pages.
+    let scheme = LeaFtlScheme::new(LeaFtlConfig::default());
+    let mut ssd = Ssd::new(SsdConfig::small_test(), scheme);
+    let logical = ssd.config().logical_pages();
+    let mut content = 0u64;
+    let mut shadow = HashMap::new();
+    for _round in 0..12 {
+        for lpa in 0..logical / 3 {
+            content += 1;
+            ssd.write(Lpa::new(lpa), content).unwrap();
+            shadow.insert(lpa, content);
+        }
+    }
+    assert!(ssd.stats().gc_runs > 0, "test needs GC churn");
+    let report = ssd.crash_and_recover().unwrap();
+    verify_recovered(&mut ssd, &shadow, report.lost_buffered_writes);
+}
