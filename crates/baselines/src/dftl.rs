@@ -64,7 +64,9 @@ impl Dftl {
     }
 
     fn note_translation_page(&mut self, lpa: Lpa) {
-        self.translation_pages = self.translation_pages.max(Self::translation_page_of(lpa) + 1);
+        self.translation_pages = self
+            .translation_pages
+            .max(Self::translation_page_of(lpa) + 1);
     }
 
     /// Evicts LRU entries until the CMT fits its budget; dirty victims
@@ -140,7 +142,9 @@ mod tests {
     use super::*;
 
     fn batch(lpa0: u64, ppa0: u64, n: u64) -> Vec<(Lpa, Ppa)> {
-        (0..n).map(|i| (Lpa::new(lpa0 + i), Ppa::new(ppa0 + i))).collect()
+        (0..n)
+            .map(|i| (Lpa::new(lpa0 + i), Ppa::new(ppa0 + i)))
+            .collect()
     }
 
     #[test]
@@ -157,9 +161,10 @@ mod tests {
     fn miss_costs_translation_read() {
         let mut dftl = Dftl::new();
         dftl.set_memory_budget(4 * ENTRY_BYTES); // 4 entries
-        dftl.update_batch(&batch(0, 100, 16)); // evicts most, dirty
-        // LPA 0 was evicted; looking it up misses (1 fetch, plus a
-        // dirty victim's read-modify-write to make room).
+                                                 // Inserting 16 entries evicts most of them dirty; LPA 0 is
+                                                 // among the victims, so looking it up misses (1 fetch, plus a
+                                                 // dirty victim's read-modify-write to make room).
+        dftl.update_batch(&batch(0, 100, 16));
         let (hit, cost) = dftl.lookup(Lpa::new(0));
         assert_eq!(hit.unwrap().ppa, Ppa::new(100));
         assert_eq!(cost.translation_reads, 2);
@@ -182,7 +187,8 @@ mod tests {
         dftl.set_memory_budget(ENTRY_BYTES); // one-entry CMT
         let cost = dftl.update_batch(&[(Lpa::new(0), Ppa::new(100))]);
         assert_eq!(cost, MapCost::FREE); // fits, no eviction yet
-        dftl.update_batch(&[(Lpa::new(1), Ppa::new(101))]); // evicts dirty 0
+                                         // Inserting LPA 1 evicts dirty 0.
+        dftl.update_batch(&[(Lpa::new(1), Ppa::new(101))]);
         // Miss on 0: fetch (1 read) + evict dirty 1 (1 read + 1 write).
         let (_, cost) = dftl.lookup(Lpa::new(0));
         assert_eq!(cost.translation_reads, 2);

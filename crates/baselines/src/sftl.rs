@@ -161,7 +161,9 @@ mod tests {
     use super::*;
 
     fn batch(lpa0: u64, ppa0: u64, n: u64) -> Vec<(Lpa, Ppa)> {
-        (0..n).map(|i| (Lpa::new(lpa0 + i), Ppa::new(ppa0 + i))).collect()
+        (0..n)
+            .map(|i| (Lpa::new(lpa0 + i), Ppa::new(ppa0 + i)))
+            .collect()
     }
 
     #[test]
@@ -200,8 +202,8 @@ mod tests {
         let mut sftl = Sftl::new();
         sftl.set_memory_budget(RUN_BYTES); // one run fits
         sftl.update_batch(&batch(0, 100, 4)); // page 0 resident, dirty
-        let cost = sftl.update_batch(&batch(512, 200, 4)); // page 1
-        // Page 0 evicted dirty.
+                                              // Page 1 arrives; page 0 is evicted dirty.
+        let cost = sftl.update_batch(&batch(512, 200, 4));
         assert_eq!(cost.translation_writes, 1);
         // Re-touching page 0 misses.
         let (_, cost) = sftl.lookup(Lpa::new(0));

@@ -24,7 +24,7 @@ fn irregular(seed: u64) -> Vec<(u8, u64)> {
     let mut y = 40_000u64;
     while x <= 255 {
         out.push((x as u8, y));
-        x += 1 + rng.gen_range(0..3);
+        x += 1 + rng.gen_range(0..3u64);
         y += 1;
     }
     out

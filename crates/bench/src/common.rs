@@ -243,7 +243,9 @@ impl Scale {
 /// Deterministic experiment seed.
 pub const SEED: u64 = 0x1ea_f71;
 
-/// Outcome of one (workload, scheme) run.
+/// Outcome of one (workload, scheme) run. Carries the full measurement
+/// set even where individual experiments consume only a subset.
+#[allow(dead_code)]
 #[derive(Debug, Clone, Serialize)]
 pub struct RunOutcome {
     pub workload: String,
@@ -310,11 +312,7 @@ pub fn run_workload_with_config(
 /// Builds a mapping table by replaying only the workload's writes (the
 /// offline structure studies: Figs. 5/10/12). Returns the SSD for
 /// table-stats inspection.
-pub fn build_mapping_state(
-    kind: SchemeKind,
-    profile: &ProfileParams,
-    scale: &Scale,
-) -> AnySsd {
+pub fn build_mapping_state(kind: SchemeKind, profile: &ProfileParams, scale: &Scale) -> AnySsd {
     let config = scale.config(DramPolicy::MappingFirst);
     let logical = config.logical_pages();
     let mut ssd = AnySsd::build(kind, config);

@@ -68,12 +68,10 @@ pub fn ablation_compaction(quick: bool) -> Value {
     for interval in [10_000u64, 50_000, 200_000, 1_000_000] {
         let config = scale.config(DramPolicy::DataFloor(0.2));
         let logical = config.logical_pages();
-        let scheme =
-            LeaFtlScheme::new(LeaFtlConfig::default().with_compaction_interval(interval));
+        let scheme = LeaFtlScheme::new(LeaFtlConfig::default().with_compaction_interval(interval));
         let mut ssd = Ssd::new(config, scheme);
         replay(&mut ssd, warmup_ops(logical, scale.prefill)).expect("warmup");
-        let report =
-            replay(&mut ssd, profile.generate(logical, scale.ops, SEED)).expect("replay");
+        let report = replay(&mut ssd, profile.generate(logical, scale.ops, SEED)).expect("replay");
         let table = ssd.scheme().table();
         rows.push(vec![
             format!("{interval}"),
@@ -92,7 +90,13 @@ pub fn ablation_compaction(quick: bool) -> Value {
     }
     print_table(
         "Ablation (§3.7): compaction interval — more frequent compaction, smaller standing table",
-        &["interval (writes)", "compactions", "table size", "segments", "latency"],
+        &[
+            "interval (writes)",
+            "compactions",
+            "table size",
+            "segments",
+            "latency",
+        ],
         &rows,
     );
     json!({ "experiment": "ablation_compaction", "series": out })
@@ -121,8 +125,7 @@ pub fn ablation_gc(quick: bool) -> Value {
         let mut ssd = Ssd::new(config, scheme);
         replay(&mut ssd, warmup_ops(logical, scale.prefill)).expect("warmup");
         ssd.reset_stats();
-        let report =
-            replay(&mut ssd, profile.generate(logical, scale.ops, SEED)).expect("replay");
+        let report = replay(&mut ssd, profile.generate(logical, scale.ops, SEED)).expect("replay");
         rows.push(vec![
             label.to_string(),
             format!("{}", ssd.stats().gc_runs),

@@ -67,7 +67,9 @@ pub fn fig22b(quick: bool) -> Value {
         config.geometry.page_size = page_size;
         config.geometry.blocks = scale.capacity / block_bytes;
         // Keep the write buffer at one block worth of pages.
-        config.write_buffer_pages = 256.min(scale.buffer_pages * 4096 / page_size as usize).max(32);
+        config.write_buffer_pages = 256
+            .min(scale.buffer_pages * 4096 / page_size as usize)
+            .max(32);
         let mut latencies = vec![0.0f64; SCHEMES.len()];
         let suite = block_trace_suite();
         for profile in &suite {

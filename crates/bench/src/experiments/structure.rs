@@ -22,9 +22,7 @@ pub fn fig5(quick: bool) -> Value {
         let total = lengths.len().max(1);
         let cdf: Vec<f64> = buckets
             .iter()
-            .map(|&b| {
-                lengths.iter().filter(|&&l| l <= b).count() as f64 / total as f64 * 100.0
-            })
+            .map(|&b| lengths.iter().filter(|&&l| l <= b).count() as f64 / total as f64 * 100.0)
             .collect();
         let avg = lengths.iter().map(|&l| l as f64).sum::<f64>() / total as f64;
         rows.push(
@@ -59,7 +57,11 @@ pub fn fig10(quick: bool) -> Value {
     for profile in block_trace_suite() {
         let ssd = build_mapping_state(SchemeKind::LeaFtl { gamma: 4 }, &profile, &scale);
         let stats = ssd.compacted_table_stats().expect("leaftl run");
-        let sizes: Vec<u32> = stats.crb_bytes_per_group.iter().map(|&b| b as u32).collect();
+        let sizes: Vec<u32> = stats
+            .crb_bytes_per_group
+            .iter()
+            .map(|&b| b as u32)
+            .collect();
         let avg = stats.avg_crb_bytes();
         let p99 = percentile(&sizes, 99.0);
         rows.push(vec![

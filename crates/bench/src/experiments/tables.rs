@@ -40,7 +40,20 @@ pub fn table1(_quick: bool) -> Value {
         ],
     ];
     print_table("Table 1: SSD configuration", &["Parameter", "Value"], &rows);
-    json!({ "experiment": "table1", "config": config })
+    json!({
+        "experiment": "table1",
+        "config": {
+            "channels": config.geometry.channels,
+            "page_size": config.geometry.page_size,
+            "pages_per_block": config.geometry.pages_per_block,
+            "oob_size": config.geometry.oob_size,
+            "dram_bytes": config.dram_bytes,
+            "op_ratio": config.op_ratio,
+            "read_us": config.timing.read_us(),
+            "program_us": config.timing.program_us(),
+            "erase_ms": config.timing.erase_ms(),
+        }
+    })
 }
 
 /// Generates a monotonic 256-mapping batch with irregular gaps for the
@@ -81,7 +94,7 @@ pub fn table3(quick: bool) -> Value {
 
         // Lookup benchmark over the learned table.
         let lpas: Vec<Lpa> = (0..lookups)
-            .map(|_| data[rng.gen_range(0..data.len())][rng.gen_range(0..256)].0)
+            .map(|_| data[rng.gen_range(0..data.len())][rng.gen_range(0..256usize)].0)
             .collect();
         let start = Instant::now();
         let mut found = 0u64;

@@ -10,8 +10,8 @@
 //! ```
 //!
 //! Each experiment prints a human-readable table (with the paper's
-//! reference numbers in the title) and appends a JSON record to
-//! `results/<name>.json` for re-plotting.
+//! reference numbers in the title) and writes a JSON record to
+//! `results/<name>.json` for re-plotting (overwriting a previous run).
 
 mod common;
 mod experiments;
@@ -24,10 +24,7 @@ use std::time::Instant;
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick" || a == "-q");
-    let selected: Vec<String> = args
-        .into_iter()
-        .filter(|a| !a.starts_with('-'))
-        .collect();
+    let selected: Vec<String> = args.into_iter().filter(|a| !a.starts_with('-')).collect();
 
     let all = registry();
     if selected.is_empty() || selected.iter().any(|s| s == "list") {

@@ -58,13 +58,20 @@ mod tests {
 
     #[test]
     fn builder_chain() {
-        let c = LeaFtlConfig::new().with_gamma(4).with_compaction_interval(1000);
+        let c = LeaFtlConfig::new()
+            .with_gamma(4)
+            .with_compaction_interval(1000);
         assert_eq!(c.gamma, 4);
         assert_eq!(c.compaction_interval, 1000);
     }
 
     #[test]
     fn compaction_interval_floor() {
-        assert_eq!(LeaFtlConfig::new().with_compaction_interval(0).compaction_interval, 1);
+        assert_eq!(
+            LeaFtlConfig::new()
+                .with_compaction_interval(0)
+                .compaction_interval,
+            1
+        );
     }
 }

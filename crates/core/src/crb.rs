@@ -171,10 +171,7 @@ impl Crb {
         // Trimming the head can reorder interleaved runs; restore start
         // order so binary searches stay sound.
         self.runs.sort_by_key(Run::start);
-        debug_assert!(self
-            .runs
-            .windows(2)
-            .all(|w| w[0].start() < w[1].start()));
+        debug_assert!(self.runs.windows(2).all(|w| w[0].start() < w[1].start()));
     }
 
     /// Removes the run starting at `start`, if present.

@@ -11,9 +11,11 @@
 //! * `lookup` — top-down search: first level whose covering segment
 //!   *actually indexes* the LPA wins (stride test for accurate segments,
 //!   CRB ownership for approximate ones);
-//! * `compact` — batch-merges the top level into the one below it until
-//!   no structural progress is possible, reclaiming memory from
-//!   shadowed segments.
+//! * `compact` — one global sweep in freshness order: every segment is
+//!   trimmed against the cumulative claims of everything fresher (fully
+//!   shadowed segments disappear, CRB runs with them), then survivors
+//!   are re-layered newest-first into the fewest levels the freshness
+//!   invariant allows.
 //!
 //! # Freshness invariant
 //!
@@ -297,83 +299,57 @@ impl Group {
         None
     }
 
-    /// Structural size ordering used to detect compaction progress.
-    fn progress_key(&self) -> (usize, usize, usize) {
-        let claimed: usize = self
-            .iter_segments()
-            .map(|(_, seg)| self.member_count(seg))
-            .sum();
-        (self.levels.len(), self.segment_count(), claimed)
-    }
-
-    /// Algorithm 1 `seg_compact` for this group: top-down passes over
-    /// adjacent level pairs, batch-merging the upper level into the
-    /// lower one, until a full pass makes no structural progress.
+    /// Algorithm 1 `seg_compact` for this group: a single global sweep
+    /// in freshness order (top level first).
     ///
-    /// Batch semantics (all upper-level segments trim a victim before
-    /// pop decisions) reproduce the paper's T8 example exactly: a lower
-    /// victim trimmed by several upper segments can shrink out of the
-    /// way and stay, yielding a single compacted level. Pairs whose
-    /// merge cannot shrink the stack (range-interleaved, member-disjoint
-    /// segments) are skipped past, so deeper levels still compact.
+    /// Every segment is trimmed against the *cumulative* claim set of
+    /// all fresher segments — not just the adjacent level, which is
+    /// what makes the paper's T8 example and deep stacks alike collapse:
+    /// a segment whose members are all shadowed anywhere above it is
+    /// reclaimed outright (its CRB run with it). Survivors are then
+    /// re-layered greedily, newest first, with each segment placed in
+    /// the topmost level that (a) holds nothing it range-overlaps and
+    /// (b) is below every fresher segment it range-overlaps — the
+    /// ordering the lookup freshness invariant requires, because claim
+    /// overlap implies range overlap.
+    ///
+    /// Post-state: every surviving segment is the lookup winner for at
+    /// least one live LPA, so the segment count is bounded by the live
+    /// mapping count (the §3.1 worst-case memory argument).
     pub fn compact(&mut self) {
-        self.prune_empty_levels();
-        loop {
-            let before = self.progress_key();
-            self.compact_pass();
-            self.prune_empty_levels();
-            if self.progress_key() >= before {
-                break;
-            }
-        }
-    }
-
-    /// One top-down pass: merge level `i` into `i+1`; stay at `i` while
-    /// the stack keeps shrinking there, otherwise move down.
-    fn compact_pass(&mut self) {
-        let mut i = 0;
-        while i + 1 < self.levels.len() {
-            let levels_before = self.levels.len();
-            self.compact_pair_at(i);
-            if self.levels.len() >= levels_before {
-                i += 1;
-            }
-        }
-    }
-
-    fn compact_pair_at(&mut self, upper: usize) {
-        let lower = upper + 1;
-        let moved = self.levels[upper].drain_all();
-        let mut union = OffsetSet::default();
-        for segment in &moved {
-            union.union_with(&OffsetSet::from_members(&self.claimed_members(segment)));
-        }
-        let mut popped = Vec::new();
-        for idx in (0..self.levels[lower].len()).rev() {
-            let victim = *self.levels[lower].segment(idx);
-            if !moved.iter().any(|s| s.overlaps(&victim)) {
-                continue;
-            }
-            match self.merge_victim(&victim, &union) {
-                MergeOutcome::Removed => {
-                    self.levels[lower].remove(idx);
-                }
-                MergeOutcome::Kept { new_start, new_len } => {
-                    let stored = self.levels[lower].segment_mut(idx);
-                    stored.set_interval(new_start, new_len);
-                    if moved.iter().any(|s| s.overlaps(stored)) {
-                        popped.push(self.levels[lower].remove(idx));
+        let old_levels = std::mem::take(&mut self.levels);
+        let mut cumulative = OffsetSet::default();
+        let mut kept = Vec::new();
+        for level in &old_levels {
+            for segment in level.iter() {
+                match self.merge_victim(segment, &cumulative) {
+                    MergeOutcome::Removed => {}
+                    MergeOutcome::Kept { new_start, new_len } => {
+                        let mut trimmed = *segment;
+                        trimmed.set_interval(new_start, new_len);
+                        cumulative
+                            .union_with(&OffsetSet::from_members(&self.claimed_members(&trimmed)));
+                        kept.push(trimmed);
                     }
                 }
             }
         }
-        for segment in moved {
-            self.levels[lower].insert(segment);
+        for segment in kept {
+            // Must sit strictly below every (fresher) segment already
+            // placed that it overlaps, i.e. just past the last
+            // overlapping level.
+            let mut floor = 0;
+            for (idx, level) in self.levels.iter().enumerate() {
+                if level.has_overlap(&segment) {
+                    floor = idx + 1;
+                }
+            }
+            if floor < self.levels.len() {
+                self.levels[floor].insert(segment);
+            } else {
+                self.levels.push(Level::with_segment(segment));
+            }
         }
-        for victim in popped.into_iter().rev() {
-            self.place_below(victim, lower + 1);
-        }
-        self.levels.remove(upper);
     }
 }
 
@@ -594,7 +570,13 @@ mod tests {
         group.compact();
         // Ranges interleave with disjoint members: both must survive.
         assert_eq!(group.segment_count(), 2);
-        for (x, expect) in [(100u8, 500u64), (103, 501), (106, 502), (101, 800), (104, 801)] {
+        for (x, expect) in [
+            (100u8, 500u64),
+            (103, 501),
+            (106, 502),
+            (101, 800),
+            (104, 801),
+        ] {
             let hit = group.lookup(x).unwrap();
             assert!(
                 (hit.ppa.raw() as i64 - expect as i64).unsigned_abs() <= 2,

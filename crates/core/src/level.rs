@@ -53,9 +53,7 @@ impl Level {
     /// Indices of segments whose intervals overlap `segment`'s.
     /// They are contiguous because the level is sorted and disjoint.
     pub fn overlapping_indices(&self, segment: &Segment) -> std::ops::Range<usize> {
-        let lo = self
-            .segments
-            .partition_point(|s| s.end() < segment.start());
+        let lo = self.segments.partition_point(|s| s.end() < segment.start());
         let hi = self
             .segments
             .partition_point(|s| s.start() <= segment.end());
@@ -107,11 +105,6 @@ impl Level {
             .iter()
             .position(|s| s.start() == start && s.is_approximate() == approximate)?;
         Some(self.segments.remove(idx))
-    }
-
-    /// Drains every segment out of the level (used by compaction).
-    pub fn drain_all(&mut self) -> Vec<Segment> {
-        std::mem::take(&mut self.segments)
     }
 }
 
@@ -165,16 +158,6 @@ mod tests {
         level.insert(seg(10, 5)); // accurate (LSB of 0x3c00 is 0)
         assert!(level.remove_by_start(10, true).is_none());
         assert!(level.remove_by_start(10, false).is_some());
-        assert!(level.is_empty());
-    }
-
-    #[test]
-    fn drain_empties_level() {
-        let mut level = Level::new();
-        level.insert(seg(1, 1));
-        level.insert(seg(5, 1));
-        let drained = level.drain_all();
-        assert_eq!(drained.len(), 2);
         assert!(level.is_empty());
     }
 

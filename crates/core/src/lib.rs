@@ -53,13 +53,13 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod config;
 pub mod crb;
 pub mod f16;
 pub mod group;
 pub mod level;
 pub mod plr;
 pub mod segment;
-mod config;
 mod stats;
 mod table;
 mod validate;

@@ -50,7 +50,9 @@ impl LearnedPiece {
 /// Panics (debug builds) if the input violates monotonicity.
 pub fn fit(points: &[(u8, u64)], gamma: u32) -> Vec<LearnedPiece> {
     debug_assert!(
-        points.windows(2).all(|w| w[0].0 < w[1].0 && w[0].1 < w[1].1),
+        points
+            .windows(2)
+            .all(|w| w[0].0 < w[1].0 && w[0].1 < w[1].1),
         "plr input must be strictly increasing in offset and ppa"
     );
     let mut pieces = Vec::new();
@@ -299,7 +301,9 @@ mod tests {
         let mut state = 0x12345678u64;
         while x <= 255 {
             points.push((x as u8, y));
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             x += 1 + (state >> 33) as u32 % 4;
             y += 1;
         }
@@ -309,8 +313,7 @@ mod tests {
             for piece in &pieces {
                 for &x in &piece.members {
                     let y = points.iter().find(|p| p.0 == x).unwrap().1;
-                    let err =
-                        (piece.segment.translate(x).raw() as i64 - y as i64).unsigned_abs();
+                    let err = (piece.segment.translate(x).raw() as i64 - y as i64).unsigned_abs();
                     assert!(err <= gamma as u64, "gamma={gamma} x={x} err={err}");
                     covered += 1;
                 }
@@ -325,7 +328,9 @@ mod tests {
         let mut state = 99u64;
         let mut y = 0u64;
         for x in (0..=255u32).step_by(2) {
-            state = state.wrapping_mul(2862933555777941757).wrapping_add(3037000493);
+            state = state
+                .wrapping_mul(2862933555777941757)
+                .wrapping_add(3037000493);
             y += 1 + (state >> 60) % 3;
             points.push((x as u8, y));
         }

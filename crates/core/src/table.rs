@@ -128,7 +128,11 @@ impl LeaFtlTable {
         group.lookup(lpa.group_offset()).map(|hit| LookupResult {
             ppa: hit.ppa,
             approximate: hit.approximate,
-            error_bound: if hit.approximate { self.config.gamma } else { 0 },
+            error_bound: if hit.approximate {
+                self.config.gamma
+            } else {
+                0
+            },
             levels_visited: hit.levels_visited,
         })
     }
@@ -233,7 +237,9 @@ mod tests {
     use super::*;
 
     fn batch(lpa0: u64, ppa0: u64, n: u64) -> Vec<(Lpa, Ppa)> {
-        (0..n).map(|i| (Lpa::new(lpa0 + i), Ppa::new(ppa0 + i))).collect()
+        (0..n)
+            .map(|i| (Lpa::new(lpa0 + i), Ppa::new(ppa0 + i)))
+            .collect()
     }
 
     #[test]
@@ -310,8 +316,7 @@ mod tests {
 
     #[test]
     fn maybe_compact_obeys_interval() {
-        let mut table =
-            LeaFtlTable::new(LeaFtlConfig::default().with_compaction_interval(100));
+        let mut table = LeaFtlTable::new(LeaFtlConfig::default().with_compaction_interval(100));
         table.learn(&batch(0, 1000, 64));
         assert!(!table.maybe_compact());
         table.learn(&batch(0, 2000, 64));

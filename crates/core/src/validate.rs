@@ -48,7 +48,10 @@ pub(crate) fn validate_group(group_id: u64, group: &Group) -> Vec<InvariantViola
     for (idx, level) in per_level.iter().enumerate() {
         for pair in level.windows(2) {
             if pair[0].start() > pair[1].start() {
-                report(format!("level {idx} unsorted: {} after {}", pair[1], pair[0]));
+                report(format!(
+                    "level {idx} unsorted: {} after {}",
+                    pair[1], pair[0]
+                ));
             }
             if pair[0].overlaps(&pair[1]) {
                 report(format!("level {idx} overlap: {} and {}", pair[0], pair[1]));
@@ -163,7 +166,9 @@ mod tests {
     use leaftl_flash::{Lpa, Ppa};
 
     fn batch(lpa0: u64, ppa0: u64, n: u64) -> Vec<(Lpa, Ppa)> {
-        (0..n).map(|i| (Lpa::new(lpa0 + i), Ppa::new(ppa0 + i))).collect()
+        (0..n)
+            .map(|i| (Lpa::new(lpa0 + i), Ppa::new(ppa0 + i)))
+            .collect()
     }
 
     #[test]

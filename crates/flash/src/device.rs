@@ -98,7 +98,10 @@ impl FlashDevice {
         if !self.geometry.contains(ppa) {
             return Err(FlashError::OutOfRange(ppa));
         }
-        Ok((self.geometry.block_of(ppa), self.geometry.page_in_block(ppa)))
+        Ok((
+            self.geometry.block_of(ppa),
+            self.geometry.page_in_block(ppa),
+        ))
     }
 
     fn check_block(&self, block: BlockId) -> Result<(), FlashError> {
@@ -300,7 +303,10 @@ mod tests {
     #[test]
     fn read_erased_rejected() {
         let mut d = device();
-        assert_eq!(d.read(Ppa::new(5)), Err(FlashError::ReadErased(Ppa::new(5))));
+        assert_eq!(
+            d.read(Ppa::new(5)),
+            Err(FlashError::ReadErased(Ppa::new(5)))
+        );
     }
 
     #[test]
@@ -320,7 +326,10 @@ mod tests {
         let mut d = FlashDevice::new(geometry);
         d.erase(BlockId::new(0)).unwrap();
         d.erase(BlockId::new(0)).unwrap();
-        assert_eq!(d.erase(BlockId::new(0)), Err(FlashError::WornOut(BlockId::new(0))));
+        assert_eq!(
+            d.erase(BlockId::new(0)),
+            Err(FlashError::WornOut(BlockId::new(0)))
+        );
         assert_eq!(
             d.program(Ppa::new(0), 1, Some(Lpa::new(1))),
             Err(FlashError::WornOut(BlockId::new(0)))

@@ -166,7 +166,10 @@ impl SsdConfig {
     /// Validates the configuration, panicking with a descriptive message
     /// on nonsensical values. Called by `Ssd::new`.
     pub fn validate(&self) {
-        assert!(self.op_ratio > 0.0 && self.op_ratio < 0.9, "op_ratio out of range");
+        assert!(
+            self.op_ratio > 0.0 && self.op_ratio < 0.9,
+            "op_ratio out of range"
+        );
         assert!(
             self.gc_low_watermark < self.gc_high_watermark,
             "gc watermarks inverted"

@@ -146,7 +146,9 @@ mod tests {
     use super::*;
 
     fn batch(lpa0: u64, ppa0: u64, n: u64) -> Vec<(Lpa, Ppa)> {
-        (0..n).map(|i| (Lpa::new(lpa0 + i), Ppa::new(ppa0 + i))).collect()
+        (0..n)
+            .map(|i| (Lpa::new(lpa0 + i), Ppa::new(ppa0 + i)))
+            .collect()
     }
 
     #[test]
@@ -193,8 +195,7 @@ mod tests {
 
     #[test]
     fn maintain_compacts_on_interval() {
-        let mut scheme =
-            LeaFtlScheme::new(LeaFtlConfig::default().with_compaction_interval(100));
+        let mut scheme = LeaFtlScheme::new(LeaFtlConfig::default().with_compaction_interval(100));
         scheme.update_batch(&batch(0, 0, 64));
         assert!(!scheme.maintain().1);
         scheme.update_batch(&batch(0, 1000, 64));

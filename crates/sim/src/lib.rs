@@ -45,15 +45,15 @@
 pub mod allocator;
 pub mod buffer;
 pub mod clock;
-pub mod lru;
-pub mod validity;
 mod config;
 mod error;
 mod leaftl_scheme;
+pub mod lru;
 mod mapping;
 mod replay;
 mod ssd;
 mod stats;
+pub mod validity;
 
 pub use config::{DramPolicy, GcPolicy, SsdConfig};
 pub use error::SimError;

@@ -167,10 +167,7 @@ mod tests {
     #[test]
     fn exact_map_roundtrip() {
         let mut map = ExactPageMap::new();
-        let pairs = vec![
-            (Lpa::new(1), Ppa::new(100)),
-            (Lpa::new(2), Ppa::new(101)),
-        ];
+        let pairs = vec![(Lpa::new(1), Ppa::new(100)), (Lpa::new(2), Ppa::new(101))];
         assert_eq!(map.update_batch(&pairs), MapCost::FREE);
         let (hit, cost) = map.lookup(Lpa::new(1));
         assert_eq!(hit.unwrap().ppa, Ppa::new(100));

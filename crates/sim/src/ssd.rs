@@ -329,8 +329,7 @@ impl<S: MappingScheme + Clone> Ssd<S> {
             .into_iter()
             .flatten()
             {
-                if !self.config.geometry.contains(candidate) || !self.validity.is_valid(candidate)
-                {
+                if !self.config.geometry.contains(candidate) || !self.validity.is_valid(candidate) {
                     continue;
                 }
                 charge_read(self, candidate, false);
@@ -341,20 +340,13 @@ impl<S: MappingScheme + Clone> Ssd<S> {
                 }
             }
         }
-        Err(SimError::MappingCorruption {
-            lpa,
-            predicted,
-        })
+        Err(SimError::MappingCorruption { lpa, predicted })
     }
 
     /// Resolves the exact current PPA of a mapped LPA for invalidation.
     /// Exact predictions are free; approximate ones cost one flash read
     /// (plus extras on misprediction).
-    fn resolve_for_invalidation(
-        &mut self,
-        lpa: Lpa,
-        hit: &MappingLookup,
-    ) -> Result<Ppa, SimError> {
+    fn resolve_for_invalidation(&mut self, lpa: Lpa, hit: &MappingLookup) -> Result<Ppa, SimError> {
         if !hit.approximate {
             debug_assert!(self.validity.is_valid(hit.ppa));
             return Ok(hit.ppa);
@@ -426,9 +418,10 @@ impl<S: MappingScheme + Clone> Ssd<S> {
                 let (lpa, content) = pages[idx];
                 idx += 1;
                 self.device.program(ppa, content, Some(lpa))?;
-                let end = self
-                    .clock
-                    .schedule(self.config.geometry.channel_of(ppa), self.config.timing.program_ns);
+                let end = self.clock.schedule(
+                    self.config.geometry.channel_of(ppa),
+                    self.config.timing.program_ns,
+                );
                 deadline = deadline.max(end);
                 self.stats.flash.data_programs += 1;
                 self.note_block_write(ppa);
@@ -569,8 +562,7 @@ impl<S: MappingScheme + Clone> Ssd<S> {
                 },
                 GcPolicy::CostBenefit => {
                     let u = valid as f64 / self.config.geometry.pages_per_block as f64;
-                    let age =
-                        (now - self.block_last_write_ns[raw as usize]) as f64 + 1.0;
+                    let age = (now - self.block_last_write_ns[raw as usize]) as f64 + 1.0;
                     let score = age * (1.0 - u) / (1.0 + u);
                     match best_cb {
                         Some((best, _)) if best >= score => {}
@@ -601,14 +593,13 @@ impl<S: MappingScheme + Clone> Ssd<S> {
             let mut items: Vec<(Lpa, u64)> = Vec::with_capacity(valid.len());
             for &ppa in &valid {
                 let view = self.device.read(ppa)?;
-                let end = self
-                    .clock
-                    .schedule(self.config.geometry.channel_of(ppa), self.config.timing.read_ns);
+                let end = self.clock.schedule(
+                    self.config.geometry.channel_of(ppa),
+                    self.config.timing.read_ns,
+                );
                 deadline = deadline.max(end);
                 self.stats.flash.gc_reads += 1;
-                let lpa = view
-                    .lpa
-                    .expect("data pages always carry a reverse mapping");
+                let lpa = view.lpa.expect("data pages always carry a reverse mapping");
                 items.push((lpa, view.content));
             }
             self.clock.wait_until(deadline);
@@ -627,9 +618,10 @@ impl<S: MappingScheme + Clone> Ssd<S> {
                     let (lpa, content) = items[idx];
                     idx += 1;
                     self.device.program(ppa, content, Some(lpa))?;
-                    let end = self
-                        .clock
-                        .schedule(self.config.geometry.channel_of(ppa), self.config.timing.program_ns);
+                    let end = self.clock.schedule(
+                        self.config.geometry.channel_of(ppa),
+                        self.config.timing.program_ns,
+                    );
                     deadline = deadline.max(end);
                     self.stats.flash.gc_programs += 1;
                     self.note_block_write(ppa);
@@ -715,9 +707,10 @@ impl<S: MappingScheme + Clone> Ssd<S> {
         let mut deadline = self.clock.now_ns();
         for &ppa in &valid {
             let view = self.device.read(ppa)?;
-            let end = self
-                .clock
-                .schedule(self.config.geometry.channel_of(ppa), self.config.timing.read_ns);
+            let end = self.clock.schedule(
+                self.config.geometry.channel_of(ppa),
+                self.config.timing.read_ns,
+            );
             deadline = deadline.max(end);
             self.stats.flash.gc_reads += 1;
             items.push((view.lpa.expect("data page"), view.content));
@@ -730,9 +723,10 @@ impl<S: MappingScheme + Clone> Ssd<S> {
         for (offset, &(lpa, content)) in items.iter().enumerate() {
             let ppa = self.config.geometry.ppa(hot, offset as u32);
             self.device.program(ppa, content, Some(lpa))?;
-            let end = self
-                .clock
-                .schedule(self.config.geometry.channel_of(ppa), self.config.timing.program_ns);
+            let end = self.clock.schedule(
+                self.config.geometry.channel_of(ppa),
+                self.config.timing.program_ns,
+            );
             deadline = deadline.max(end);
             self.stats.flash.wear_programs += 1;
             self.note_block_write(ppa);

@@ -31,8 +31,8 @@ pub mod trace_file;
 pub mod zipf;
 
 pub use profile::{strided_ops, warmup_ops, ProfileParams, TraceGenerator};
-pub use trace_file::{parse_msr_trace, to_msr_trace, ParseTraceError};
 pub use suites::{
     app_suite, auctionmark, block_trace_suite, compflow, fiu_home, fiu_mail, full_suite, msr_hm,
     msr_prn, msr_prxy, msr_src2, msr_usr, oltp, seats, tpcc,
 };
+pub use trace_file::{parse_msr_trace, to_msr_trace, ParseTraceError};

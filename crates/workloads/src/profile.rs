@@ -109,16 +109,16 @@ impl TraceGenerator {
         let (lpa, pages) = if style < self.params.seq_fraction {
             // Sequential run.
             let len = self.sample_run_len();
-            let start = self.sample_start().min(self.span.saturating_sub(len as u64));
+            let start = self
+                .sample_start()
+                .min(self.span.saturating_sub(len as u64));
             (start, len)
         } else if style < self.params.seq_fraction + self.params.stride_fraction {
             // Strided run (Fig. 1 B): consecutive records `stride`
             // pages apart, issued as single-page requests. The write
             // buffer sorts them, so LeaFTL learns one strided accurate
             // segment where page-run schemes see scattered pages.
-            let stride = *[2u64, 3, 4, 8]
-                .get(self.rng.gen_range(0..4))
-                .expect("index in range");
+            let stride = [2u64, 3, 4, 8][self.rng.gen_range(0..4usize)];
             let count = (self.sample_run_len().clamp(2, 64)) as u64;
             let max_start = self.span.saturating_sub(stride * count + 1);
             let start = self.sample_start().min(max_start);
@@ -240,8 +240,7 @@ mod tests {
         let mut p = profile();
         p.seq_fraction = 1.0;
         let ops = p.generate(100_000, 2000, 9);
-        let avg: f64 =
-            ops.iter().map(|op| op.page_count() as f64).sum::<f64>() / ops.len() as f64;
+        let avg: f64 = ops.iter().map(|op| op.page_count() as f64).sum::<f64>() / ops.len() as f64;
         assert!(avg > 8.0, "mean run length {avg}");
     }
 

@@ -30,8 +30,10 @@ impl Zipf {
     /// (the harmonic singularity; use 0.99 or 1.01).
     pub fn new(items: u64, theta: f64) -> Self {
         assert!(items > 0, "zipf needs at least one item");
-        assert!((0.0..2.0).contains(&theta) && (theta - 1.0).abs() > 1e-9,
-            "theta {theta} out of range (and theta=1 is singular)");
+        assert!(
+            (0.0..2.0).contains(&theta) && (theta - 1.0).abs() > 1e-9,
+            "theta {theta} out of range (and theta=1 is singular)"
+        );
         if theta == 0.0 {
             return Zipf {
                 items,
@@ -65,8 +67,7 @@ impl Zipf {
                 .map(|i| 1.0 / (i as f64).powf(theta))
                 .sum();
             // ∫_{EXACT_LIMIT}^{n} x^-theta dx
-            let tail = ((n as f64).powf(1.0 - theta)
-                - (EXACT_LIMIT as f64).powf(1.0 - theta))
+            let tail = ((n as f64).powf(1.0 - theta) - (EXACT_LIMIT as f64).powf(1.0 - theta))
                 / (1.0 - theta);
             head + tail
         }

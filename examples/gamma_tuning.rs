@@ -13,10 +13,7 @@ use leaftl_repro::workloads::{tpcc, warmup_ops};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let profile = tpcc();
-    println!(
-        "workload: {} (irregular OLTP-style mix)\n",
-        profile.name
-    );
+    println!("workload: {} (irregular OLTP-style mix)\n", profile.name);
     println!(
         "{:>5} {:>12} {:>10} {:>12} {:>14} {:>12}",
         "γ", "table bytes", "segments", "% approx", "mispredict %", "read µs"

@@ -103,9 +103,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         }
     }
     let stats = store.ssd.stats();
-    println!(
-        "\nmixed phase: {OPS} ops, {hits} verified GETs, all values correct"
-    );
+    println!("\nmixed phase: {OPS} ops, {hits} verified GETs, all values correct");
     println!(
         "  mean read latency {:.1} µs | mean write latency {:.1} µs",
         stats.read_latency.mean_ns() / 1000.0,

@@ -16,8 +16,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut table = LeaFtlTable::new(LeaFtlConfig::default().with_gamma(4));
 
     // A buffer flush: LPA-sorted pages receive consecutive PPAs.
-    let sequential: Vec<(Lpa, Ppa)> =
-        (0..256).map(|i| (Lpa::new(i), Ppa::new(10_000 + i))).collect();
+    let sequential: Vec<(Lpa, Ppa)> = (0..256)
+        .map(|i| (Lpa::new(i), Ppa::new(10_000 + i)))
+        .collect();
     table.learn(&sequential);
 
     // 256 mappings -> one 8-byte segment.
@@ -44,7 +45,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             hit.ppa,
             true_ppa,
             hit.error_bound,
-            if hit.approximate { "approximate" } else { "exact" },
+            if hit.approximate {
+                "approximate"
+            } else {
+                "exact"
+            },
         );
     }
 

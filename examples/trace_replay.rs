@@ -69,11 +69,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             );
         }};
     }
-    run!("DFTL", Ssd::new(config.clone(), Dftl::new()), |ssd: &Ssd<
-        Dftl,
-    >| ssd
-        .scheme()
-        .full_table_bytes());
+    run!(
+        "DFTL",
+        Ssd::new(config.clone(), Dftl::new()),
+        |ssd: &Ssd<Dftl>| ssd.scheme().full_table_bytes()
+    );
     run!(
         "SFTL",
         Ssd::new(config.clone(), Sftl::new()),

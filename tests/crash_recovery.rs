@@ -13,11 +13,7 @@ use std::collections::HashMap;
 
 /// Writes a deterministic mixed pattern, tracking what was flushed.
 /// Returns (flushed shadow, buffered-at-crash count).
-fn churn<S: MappingScheme + Clone>(
-    ssd: &mut Ssd<S>,
-    seed: u64,
-    ops: usize,
-) -> HashMap<u64, u64> {
+fn churn<S: MappingScheme + Clone>(ssd: &mut Ssd<S>, seed: u64, ops: usize) -> HashMap<u64, u64> {
     let logical = ssd.config().logical_pages();
     let mut rng = StdRng::seed_from_u64(seed);
     let mut shadow = HashMap::new();

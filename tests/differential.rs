@@ -70,10 +70,7 @@ fn leaftl_gamma_zero_matches_shadow() {
     let scheme = LeaFtlScheme::new(LeaFtlConfig::default());
     let mut ssd = Ssd::new(SsdConfig::small_test(), scheme);
     differential_run(&mut ssd, 202, 1500);
-    assert_eq!(
-        ssd.stats().mispredictions, 0,
-        "γ=0 must never mispredict"
-    );
+    assert_eq!(ssd.stats().mispredictions, 0, "γ=0 must never mispredict");
 }
 
 #[test]
@@ -98,8 +95,11 @@ fn leaftl_gamma_four_matches_shadow() {
 fn leaftl_gamma_eight_with_frequent_compaction() {
     let mut config = SsdConfig::small_test();
     config.gamma = 8;
-    let scheme =
-        LeaFtlScheme::new(LeaFtlConfig::default().with_gamma(8).with_compaction_interval(200));
+    let scheme = LeaFtlScheme::new(
+        LeaFtlConfig::default()
+            .with_gamma(8)
+            .with_compaction_interval(200),
+    );
     let mut ssd = Ssd::new(config, scheme);
     differential_run(&mut ssd, 505, 1500);
     assert!(

@@ -22,7 +22,11 @@ fn gc_preserves_data_under_hot_cold_skew() {
     assert!(ssd.stats().gc_runs > 0);
     // Cold data survived every GC migration.
     for i in 0..logical / 4 {
-        assert_eq!(ssd.read(Lpa::new(i)).unwrap(), Some(7_000_000 + i), "cold {i}");
+        assert_eq!(
+            ssd.read(Lpa::new(i)).unwrap(),
+            Some(7_000_000 + i),
+            "cold {i}"
+        );
     }
     // Hot data holds the newest version.
     for i in logical / 4..logical / 2 {
@@ -91,11 +95,7 @@ fn wear_levelling_narrows_erase_spread() {
         for i in 0..logical / 2 {
             assert_eq!(ssd.read(Lpa::new(i)).unwrap(), Some(42));
         }
-        let counts: Vec<f64> = ssd
-            .device()
-            .erase_counts()
-            .map(|(_, c)| c as f64)
-            .collect();
+        let counts: Vec<f64> = ssd.device().erase_counts().map(|(_, c)| c as f64).collect();
         let mean = counts.iter().sum::<f64>() / counts.len() as f64;
         let variance =
             counts.iter().map(|c| (c - mean) * (c - mean)).sum::<f64>() / counts.len() as f64;

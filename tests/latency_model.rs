@@ -170,6 +170,9 @@ fn lookup_cpu_cost_is_accounted() {
     if stats.lookups > 0 {
         let per_lookup = stats.lookup_cpu_ns as f64 / stats.lookups as f64;
         // Table 3 territory: tens of nanoseconds, far below flash reads.
-        assert!(per_lookup >= 40.0 && per_lookup < 1_000.0, "{per_lookup} ns");
+        assert!(
+            per_lookup >= 40.0 && per_lookup < 1_000.0,
+            "{per_lookup} ns"
+        );
     }
 }

@@ -4,9 +4,9 @@
 use leaftl_repro::baselines::{sftl_full_table_bytes, Dftl, Sftl};
 use leaftl_repro::core::LeaFtlConfig;
 use leaftl_repro::flash::Lpa;
+use leaftl_repro::sim::replay;
 use leaftl_repro::sim::{LeaFtlScheme, Ssd, SsdConfig};
 use leaftl_repro::workloads::{msr_src2, msr_usr};
-use leaftl_repro::sim::replay;
 
 fn big_test_config() -> SsdConfig {
     let mut config = SsdConfig::scaled(1 << 30);

@@ -11,11 +11,7 @@ use std::collections::HashMap;
 /// Strategy: a strictly monotonic (offset, ppa) batch within one group,
 /// as produced by a sorted buffer flush.
 fn monotonic_batch() -> impl Strategy<Value = Vec<(u8, u64)>> {
-    (
-        vec(1u8..6, 1..120),
-        0u64..200,
-        1_000u64..1_000_000,
-    )
+    (vec(1u8..6, 1..120), 0u64..200, 1_000u64..1_000_000)
         .prop_map(|(gaps, start, base_ppa)| {
             let mut x = start;
             let mut out = Vec::new();

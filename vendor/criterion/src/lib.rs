@@ -1,0 +1,273 @@
+//! Offline stub of `criterion` (see `vendor/README.md`).
+//!
+//! Implements the subset of the criterion 0.5 API this workspace's
+//! benches use: [`criterion_group!`]/[`criterion_main!`],
+//! [`Criterion::benchmark_group`], `bench_function` /
+//! `bench_with_input`, per-benchmark [`Throughput`], and
+//! [`Bencher::iter`]. Measurement is a simple calibrated wall-clock
+//! mean per iteration — no statistics, baselines, or HTML reports.
+
+#![forbid(unsafe_code)]
+
+use std::fmt::Display;
+use std::marker::PhantomData;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Measurement markers, mirroring `criterion::measurement`.
+pub mod measurement {
+    /// Wall-clock time (the only measurement the stub supports).
+    #[derive(Debug, Clone, Copy)]
+    pub struct WallTime;
+}
+
+/// Units for reporting per-iteration throughput.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Identifies one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// A `function_name/parameter` id.
+    pub fn new<S: Into<String>, P: Display>(function_name: S, parameter: P) -> BenchmarkId {
+        BenchmarkId {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    /// An id that is just the parameter.
+    pub fn from_parameter<P: Display>(parameter: P) -> BenchmarkId {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(id: &str) -> BenchmarkId {
+        BenchmarkId { id: id.to_owned() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(id: String) -> BenchmarkId {
+        BenchmarkId { id }
+    }
+}
+
+/// Times the routine under measurement.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Calls `routine` for the harness-chosen number of iterations and
+    /// records total elapsed wall-clock time.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+/// Top-level benchmark driver.
+pub struct Criterion {
+    /// Target measurement time per benchmark.
+    measure_for: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        Criterion {
+            measure_for: Duration::from_millis(400),
+        }
+    }
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group<S: Into<String>>(
+        &mut self,
+        group_name: S,
+    ) -> BenchmarkGroup<'_, measurement::WallTime> {
+        let name = group_name.into();
+        println!("\n### group {name}");
+        BenchmarkGroup {
+            criterion: self,
+            name,
+            throughput: None,
+            _measurement: PhantomData,
+        }
+    }
+
+    /// Runs a free-standing benchmark (outside any group).
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, f: F) -> &mut Criterion {
+        let measure_for = self.measure_for;
+        run_benchmark(id, None, measure_for, f);
+        self
+    }
+}
+
+/// A set of related benchmarks sharing a name prefix and throughput.
+pub struct BenchmarkGroup<'a, M> {
+    criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+    _measurement: PhantomData<M>,
+}
+
+impl<M> BenchmarkGroup<'_, M> {
+    /// Sets the per-iteration throughput used for reporting.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Accepted for API compatibility; the stub sizes runs by time.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Benchmarks `f` under `id`.
+    pub fn bench_function<I: Into<BenchmarkId>, F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: I,
+        f: F,
+    ) -> &mut Self {
+        let full = format!("{}/{}", self.name, id.into().id);
+        run_benchmark(&full, self.throughput, self.criterion.measure_for, f);
+        self
+    }
+
+    /// Benchmarks `f` with a borrowed input under `id`.
+    pub fn bench_with_input<I: Into<BenchmarkId>, T: ?Sized, F: FnMut(&mut Bencher, &T)>(
+        &mut self,
+        id: I,
+        input: &T,
+        mut f: F,
+    ) -> &mut Self {
+        self.bench_function(id, |b| f(b, input))
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+fn run_benchmark<F: FnMut(&mut Bencher)>(
+    id: &str,
+    throughput: Option<Throughput>,
+    measure_for: Duration,
+    mut f: F,
+) {
+    // Calibrate: run one iteration to estimate cost, then size the
+    // measured run to roughly fill `measure_for`.
+    let mut bencher = Bencher {
+        iters: 1,
+        elapsed: Duration::ZERO,
+    };
+    f(&mut bencher);
+    let once = bencher.elapsed.max(Duration::from_nanos(1));
+    let iters = (measure_for.as_nanos() / once.as_nanos()).clamp(1, 1_000_000_000) as u64;
+
+    bencher.iters = iters;
+    f(&mut bencher);
+    let per_iter_ns = bencher.elapsed.as_nanos() as f64 / iters as f64;
+
+    let throughput_note = match throughput {
+        Some(Throughput::Elements(n)) => {
+            let rate = n as f64 * 1e3 / per_iter_ns;
+            format!("  thrpt: {} Melem/s", format_sig(rate))
+        }
+        Some(Throughput::Bytes(n)) => {
+            let rate = n as f64 * 1e3 / per_iter_ns;
+            format!("  thrpt: {} MB/s", format_sig(rate))
+        }
+        None => String::new(),
+    };
+    println!(
+        "{id:<40} time: {}/iter  ({iters} iters){throughput_note}",
+        format_ns(per_iter_ns)
+    );
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} µs", ns / 1e3)
+    } else {
+        format!("{ns:.1} ns")
+    }
+}
+
+fn format_sig(x: f64) -> String {
+    if x >= 100.0 {
+        format!("{x:.0}")
+    } else if x >= 10.0 {
+        format!("{x:.1}")
+    } else {
+        format!("{x:.2}")
+    }
+}
+
+/// Collects benchmark functions into a runnable group function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Generates `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_measures_and_reports() {
+        let mut c = Criterion {
+            measure_for: Duration::from_millis(5),
+        };
+        let mut group = c.benchmark_group("stub_smoke");
+        group.throughput(Throughput::Elements(4));
+        let mut count = 0u64;
+        group.bench_function(BenchmarkId::new("count", "up"), |b| {
+            b.iter(|| {
+                count += 1;
+                count
+            })
+        });
+        group.bench_with_input(BenchmarkId::from_parameter(3), &3u64, |b, &x| {
+            b.iter(|| x * 2)
+        });
+        group.finish();
+        assert!(count > 0);
+    }
+}

@@ -1,0 +1,17 @@
+//! Offline stub of `serde` (see `vendor/README.md`).
+//!
+//! `Serialize`/`Deserialize` are blanket marker traits so generic
+//! bounds stay satisfiable, and the same names re-export the no-op
+//! derive macros from the `serde_derive` stub.
+
+#![forbid(unsafe_code)]
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker stand-in for `serde::Serialize`; every type implements it.
+pub trait Serialize {}
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker stand-in for `serde::Deserialize`; every type implements it.
+pub trait Deserialize<'de> {}
+impl<'de, T: ?Sized> Deserialize<'de> for T {}

@@ -1,0 +1,21 @@
+//! Offline stub of `serde_derive` (see `vendor/README.md`).
+//!
+//! The derives expand to nothing: the workspace's `serde` stub gives
+//! every type a blanket marker impl, and nothing serializes derived
+//! types directly (JSON output goes through explicit `json!` trees).
+//! Registering `attributes(serde)` keeps field annotations like
+//! `#[serde(skip)]` compiling.
+
+use proc_macro::TokenStream;
+
+/// No-op `#[derive(Serialize)]`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op `#[derive(Deserialize)]`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

@@ -1,0 +1,477 @@
+//! Offline stub of `serde_json` (see `vendor/README.md`).
+//!
+//! Provides an order-preserving [`Value`] tree, the [`json!`]
+//! constructor macro, `Index` by key/position, `as_*` accessors, and
+//! compact/pretty rendering. Conversion into `Value` goes through the
+//! [`ToJson`] trait (implemented for scalars, strings, options,
+//! slices, vectors, and arrays) rather than real serde serializers.
+
+#![forbid(unsafe_code)]
+
+use std::fmt;
+use std::ops::Index;
+
+/// A JSON document. Object member order is insertion order, matching
+/// how the bench harness builds records.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// A signed integer.
+    Int(i64),
+    /// An unsigned integer too large for `i64`.
+    UInt(u64),
+    /// A floating-point number.
+    Float(f64),
+    /// A string.
+    String(String),
+    /// An array.
+    Array(Vec<Value>),
+    /// An object, as insertion-ordered key/value pairs.
+    Object(Vec<(String, Value)>),
+}
+
+static NULL: Value = Value::Null;
+
+impl Value {
+    /// Numeric value as `f64`, if this is a number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match *self {
+            Value::Int(n) => Some(n as f64),
+            Value::UInt(n) => Some(n as f64),
+            Value::Float(n) => Some(n),
+            _ => None,
+        }
+    }
+
+    /// Numeric value as `u64`, if this is a non-negative integer.
+    pub fn as_u64(&self) -> Option<u64> {
+        match *self {
+            Value::Int(n) if n >= 0 => Some(n as u64),
+            Value::UInt(n) => Some(n),
+            _ => None,
+        }
+    }
+
+    /// Numeric value as `i64`, if this is a representable integer.
+    pub fn as_i64(&self) -> Option<i64> {
+        match *self {
+            Value::Int(n) => Some(n),
+            Value::UInt(n) => i64::try_from(n).ok(),
+            _ => None,
+        }
+    }
+
+    /// String contents, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Boolean value, if this is a boolean.
+    pub fn as_bool(&self) -> Option<bool> {
+        match *self {
+            Value::Bool(b) => Some(b),
+            _ => None,
+        }
+    }
+
+    /// The elements, if this is an array.
+    pub fn as_array(&self) -> Option<&Vec<Value>> {
+        match self {
+            Value::Array(a) => Some(a),
+            _ => None,
+        }
+    }
+
+    /// The members, if this is an object.
+    pub fn as_object(&self) -> Option<&Vec<(String, Value)>> {
+        match self {
+            Value::Object(m) => Some(m),
+            _ => None,
+        }
+    }
+
+    /// Member lookup; `None` for missing keys or non-objects.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Object(m) => m.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    fn write(&self, out: &mut String, indent: Option<usize>, depth: usize) {
+        match self {
+            Value::Null => out.push_str("null"),
+            Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Value::Int(n) => out.push_str(&n.to_string()),
+            Value::UInt(n) => out.push_str(&n.to_string()),
+            Value::Float(n) => {
+                if n.is_finite() {
+                    if n.fract() == 0.0 && n.abs() < 1e15 {
+                        // Keep a float marker, as the real crate does.
+                        out.push_str(&format!("{n:.1}"));
+                    } else {
+                        out.push_str(&n.to_string());
+                    }
+                } else {
+                    // JSON has no NaN/Infinity.
+                    out.push_str("null");
+                }
+            }
+            Value::String(s) => write_escaped(out, s),
+            Value::Array(items) => {
+                write_seq(out, indent, depth, '[', ']', items.len(), |out, i| {
+                    items[i].write(out, indent, depth + 1);
+                })
+            }
+            Value::Object(members) => {
+                write_seq(out, indent, depth, '{', '}', members.len(), |out, i| {
+                    let (key, value) = &members[i];
+                    write_escaped(out, key);
+                    out.push(':');
+                    if indent.is_some() {
+                        out.push(' ');
+                    }
+                    value.write(out, indent, depth + 1);
+                })
+            }
+        }
+    }
+}
+
+fn write_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+fn write_seq(
+    out: &mut String,
+    indent: Option<usize>,
+    depth: usize,
+    open: char,
+    close: char,
+    len: usize,
+    mut item: impl FnMut(&mut String, usize),
+) {
+    out.push(open);
+    if len == 0 {
+        out.push(close);
+        return;
+    }
+    for i in 0..len {
+        if i > 0 {
+            out.push(',');
+        }
+        if let Some(width) = indent {
+            out.push('\n');
+            out.push_str(&" ".repeat(width * (depth + 1)));
+        }
+        item(out, i);
+    }
+    if let Some(width) = indent {
+        out.push('\n');
+        out.push_str(&" ".repeat(width * depth));
+    }
+    out.push(close);
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut out = String::new();
+        self.write(&mut out, None, 0);
+        f.write_str(&out)
+    }
+}
+
+impl Index<&str> for Value {
+    type Output = Value;
+
+    fn index(&self, key: &str) -> &Value {
+        self.get(key).unwrap_or(&NULL)
+    }
+}
+
+impl Index<usize> for Value {
+    type Output = Value;
+
+    fn index(&self, idx: usize) -> &Value {
+        match self {
+            Value::Array(items) => items.get(idx).unwrap_or(&NULL),
+            _ => &NULL,
+        }
+    }
+}
+
+/// Serialization error. The stub's rendering is total, so this is
+/// never produced; it exists so call sites can keep handling `Result`.
+#[derive(Debug)]
+pub struct Error(());
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("serde_json stub error")
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Renders compact JSON.
+pub fn to_string<T: ToJson + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    value.to_json().write(&mut out, None, 0);
+    Ok(out)
+}
+
+/// Renders two-space-indented JSON, like the real crate.
+pub fn to_string_pretty<T: ToJson + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    value.to_json().write(&mut out, Some(2), 0);
+    Ok(out)
+}
+
+/// Conversion into a [`Value`] — the stub's stand-in for
+/// `serde::Serialize`, taken by reference so `json!` interpolation
+/// never moves out of place expressions.
+pub trait ToJson {
+    /// Builds the JSON representation.
+    fn to_json(&self) -> Value;
+}
+
+impl ToJson for Value {
+    fn to_json(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl<T: ToJson + ?Sized> ToJson for &T {
+    fn to_json(&self) -> Value {
+        (**self).to_json()
+    }
+}
+
+impl ToJson for bool {
+    fn to_json(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl ToJson for str {
+    fn to_json(&self) -> Value {
+        Value::String(self.to_owned())
+    }
+}
+
+impl ToJson for String {
+    fn to_json(&self) -> Value {
+        Value::String(self.clone())
+    }
+}
+
+macro_rules! impl_to_json_int {
+    ($($t:ty),*) => {$(
+        impl ToJson for $t {
+            fn to_json(&self) -> Value {
+                match i64::try_from(*self) {
+                    Ok(n) => Value::Int(n),
+                    Err(_) => Value::UInt(*self as u64),
+                }
+            }
+        }
+    )*};
+}
+
+impl_to_json_int!(i8, i16, i32, i64, isize, u8, u16, u32, u64, usize);
+
+impl ToJson for f64 {
+    fn to_json(&self) -> Value {
+        Value::Float(*self)
+    }
+}
+
+impl ToJson for f32 {
+    fn to_json(&self) -> Value {
+        Value::Float(f64::from(*self))
+    }
+}
+
+impl<T: ToJson> ToJson for Option<T> {
+    fn to_json(&self) -> Value {
+        match self {
+            Some(v) => v.to_json(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: ToJson> ToJson for [T] {
+    fn to_json(&self) -> Value {
+        Value::Array(self.iter().map(ToJson::to_json).collect())
+    }
+}
+
+impl<T: ToJson> ToJson for Vec<T> {
+    fn to_json(&self) -> Value {
+        self.as_slice().to_json()
+    }
+}
+
+impl<T: ToJson, const N: usize> ToJson for [T; N] {
+    fn to_json(&self) -> Value {
+        self.as_slice().to_json()
+    }
+}
+
+// Tuples render as fixed-length arrays, like the real crate.
+macro_rules! impl_to_json_tuple {
+    ($(($($t:ident $idx:tt),+))*) => {$(
+        impl<$($t: ToJson),+> ToJson for ($($t,)+) {
+            fn to_json(&self) -> Value {
+                Value::Array(vec![$(self.$idx.to_json()),+])
+            }
+        }
+    )*};
+}
+
+impl_to_json_tuple! {
+    (A 0)
+    (A 0, B 1)
+    (A 0, B 1, C 2)
+    (A 0, B 1, C 2, D 3)
+}
+
+/// Builds a [`Value`] from JSON-ish syntax: objects, arrays, `null`,
+/// and interpolated Rust expressions (converted via [`ToJson`]).
+#[macro_export]
+macro_rules! json {
+    ($($tt:tt)+) => { $crate::json_internal!($($tt)+) };
+}
+
+/// Implementation detail of [`json!`]; a trimmed-down tt-muncher in
+/// the style the real crate uses.
+#[macro_export]
+#[doc(hidden)]
+macro_rules! json_internal {
+    (null) => { $crate::Value::Null };
+
+    ([]) => { $crate::Value::Array(::std::vec::Vec::new()) };
+    ([ $($tt:tt)+ ]) => { $crate::Value::Array($crate::json_internal!(@array [] $($tt)+)) };
+
+    ({}) => { $crate::Value::Object(::std::vec::Vec::new()) };
+    ({ $($tt:tt)+ }) => {{
+        let mut members: ::std::vec::Vec<(::std::string::String, $crate::Value)> =
+            ::std::vec::Vec::new();
+        $crate::json_internal!(@object members () ($($tt)+));
+        $crate::Value::Object(members)
+    }};
+
+    // Any other expression, converted by reference.
+    ($other:expr) => { $crate::ToJson::to_json(&$other) };
+
+    // ---- array elements ------------------------------------------------
+    (@array [$($elems:expr,)*]) => { vec![$($elems,)*] };
+    (@array [$($elems:expr,)*] null $(, $($rest:tt)*)?) => {
+        $crate::json_internal!(@array [$($elems,)* $crate::Value::Null,] $($($rest)*)?)
+    };
+    (@array [$($elems:expr,)*] {$($map:tt)*} $(, $($rest:tt)*)?) => {
+        $crate::json_internal!(@array [$($elems,)* $crate::json_internal!({$($map)*}),] $($($rest)*)?)
+    };
+    (@array [$($elems:expr,)*] [$($arr:tt)*] $(, $($rest:tt)*)?) => {
+        $crate::json_internal!(@array [$($elems,)* $crate::json_internal!([$($arr)*]),] $($($rest)*)?)
+    };
+    (@array [$($elems:expr,)*] $next:expr , $($rest:tt)*) => {
+        $crate::json_internal!(@array [$($elems,)* $crate::json_internal!($next),] $($rest)*)
+    };
+    (@array [$($elems:expr,)*] $last:expr) => {
+        $crate::json_internal!(@array [$($elems,)* $crate::json_internal!($last),])
+    };
+
+    // ---- object members ------------------------------------------------
+    (@object $object:ident () ()) => {};
+    // Key collected; dispatch on the value shape.
+    (@object $object:ident ($($key:tt)+) (: null $(, $($rest:tt)*)?)) => {
+        $object.push((($($key)+).into(), $crate::Value::Null));
+        $crate::json_internal!(@object $object () ($($($rest)*)?));
+    };
+    (@object $object:ident ($($key:tt)+) (: {$($map:tt)*} $(, $($rest:tt)*)?)) => {
+        $object.push((($($key)+).into(), $crate::json_internal!({$($map)*})));
+        $crate::json_internal!(@object $object () ($($($rest)*)?));
+    };
+    (@object $object:ident ($($key:tt)+) (: [$($arr:tt)*] $(, $($rest:tt)*)?)) => {
+        $object.push((($($key)+).into(), $crate::json_internal!([$($arr)*])));
+        $crate::json_internal!(@object $object () ($($($rest)*)?));
+    };
+    (@object $object:ident ($($key:tt)+) (: $value:expr , $($rest:tt)*)) => {
+        $object.push((($($key)+).into(), $crate::json_internal!($value)));
+        $crate::json_internal!(@object $object () ($($rest)*));
+    };
+    (@object $object:ident ($($key:tt)+) (: $value:expr)) => {
+        $object.push((($($key)+).into(), $crate::json_internal!($value)));
+    };
+    // Shift the next token into the key accumulator.
+    (@object $object:ident ($($key:tt)*) ($tt:tt $($rest:tt)*)) => {
+        $crate::json_internal!(@object $object ($($key)* $tt) ($($rest)*));
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::{to_string, to_string_pretty, Value};
+
+    #[test]
+    fn literals_and_interpolation() {
+        let name = String::from("fig16a");
+        let xs = vec![1.5f64, 2.0];
+        let tags: Vec<&String> = vec![&name];
+        let v = json!({
+            "experiment": name,
+            "series": xs,
+            "tags": tags,
+            "count": 3usize,
+            "nested": { "ok": true, "nothing": null },
+            "empty": [],
+            "inline": [1, 2, 3],
+        });
+        // `name` must not have been moved by interpolation.
+        assert_eq!(name, "fig16a");
+        assert_eq!(v["experiment"].as_str(), Some("fig16a"));
+        assert_eq!(v["series"][1].as_f64(), Some(2.0));
+        assert_eq!(v["count"].as_u64(), Some(3));
+        assert_eq!(v["nested"]["ok"].as_bool(), Some(true));
+        assert_eq!(v["nested"]["nothing"], Value::Null);
+        assert_eq!(v["inline"][2].as_u64(), Some(3));
+        assert_eq!(v["missing"], Value::Null);
+    }
+
+    #[test]
+    fn rendering() {
+        let v = json!({ "a": [1, "two\n", 2.5], "b": { "c": false } });
+        assert_eq!(
+            to_string(&v).unwrap(),
+            r#"{"a":[1,"two\n",2.5],"b":{"c":false}}"#
+        );
+        let pretty = to_string_pretty(&v).unwrap();
+        assert!(pretty.contains("\n  \"a\": [\n    1,"), "got: {pretty}");
+    }
+
+    #[test]
+    fn float_rendering_keeps_marker() {
+        assert_eq!(to_string(&json!(2.0f64)).unwrap(), "2.0");
+        assert_eq!(to_string(&f64::NAN).unwrap(), "null");
+    }
+}
