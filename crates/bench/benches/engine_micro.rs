@@ -1,0 +1,60 @@
+//! Submission/completion engine throughput at queue depth 1/8/32:
+//! how many page requests the queued engine can push through the
+//! software stack (no wall-clock flash latency — the virtual clock is
+//! free; this measures the engine + mapping-path CPU cost per request).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use leaftl_core::LeaFtlConfig;
+use leaftl_flash::Lpa;
+use leaftl_sim::{IoEngine, LeaFtlScheme, Ssd, SsdConfig};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::hint::black_box;
+
+const BURST: usize = 256;
+
+/// A prefilled device: every read below hits flash-resident state.
+fn prefilled() -> Ssd<LeaFtlScheme> {
+    let mut config = SsdConfig::small_test();
+    config.dram_bytes = 128 * 1024; // small cache: reads reach the FTL
+    let mut ssd = Ssd::new(
+        config,
+        LeaFtlScheme::new(LeaFtlConfig::default().with_gamma(4)),
+    );
+    for i in 0..1024u64 {
+        ssd.write(Lpa::new(i), i).expect("prefill write");
+    }
+    ssd.flush().expect("flush");
+    ssd
+}
+
+fn bench_engine(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engine_submit_complete");
+    group.throughput(Throughput::Elements(BURST as u64));
+    for &depth in &[1usize, 8, 32] {
+        let mut ssd = prefilled();
+        let mut rng = StdRng::seed_from_u64(11);
+        let lpas: Vec<Lpa> = (0..4096)
+            .map(|_| Lpa::new(rng.gen_range(0u64..1024)))
+            .collect();
+        let mut cursor = 0usize;
+        group.bench_function(
+            BenchmarkId::new("read_burst256", format!("qd{depth}")),
+            |b| {
+                b.iter(|| {
+                    let mut engine = IoEngine::new(&mut ssd, depth);
+                    for _ in 0..BURST {
+                        let lpa = lpas[cursor % lpas.len()];
+                        cursor += 1;
+                        engine.submit_read(black_box(lpa)).expect("submit");
+                    }
+                    black_box(engine.drain().expect("drain"))
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_engine);
+criterion_main!(benches);

@@ -1,9 +1,10 @@
 //! Head-to-head micro-benchmarks of the three mapping schemes'
-//! software paths (no flash latency): update and lookup throughput.
+//! software paths (no flash latency): update and lookup throughput,
+//! plus the learn vs learn_sorted fast-path delta.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use leaftl_baselines::{Dftl, Sftl};
-use leaftl_core::LeaFtlConfig;
+use leaftl_core::{LeaFtlConfig, LeaFtlTable};
 use leaftl_flash::{Lpa, Ppa};
 use leaftl_sim::{LeaFtlScheme, MappingScheme};
 use rand::rngs::StdRng;
@@ -71,5 +72,35 @@ fn bench_schemes(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_schemes);
+/// The flush path drains the write buffer LPA-sorted and deduplicated;
+/// `learn_sorted` skips the defensive clone + re-sort `learn` pays.
+/// This measures the delta on that exact batch shape.
+fn bench_learn_paths(c: &mut Criterion) {
+    let mut group = c.benchmark_group("leaftl_learn_paths");
+    // One flush worth of sorted, unique mappings spanning two groups.
+    let sorted_batch: Vec<(Lpa, Ppa)> = (0..256u64)
+        .map(|i| (Lpa::new(i * 2), Ppa::new(100_000 + i)))
+        .collect();
+    group.throughput(Throughput::Elements(sorted_batch.len() as u64));
+    // Fresh table per iteration (construction is a couple of empty
+    // maps, negligible): both paths fit the identical flush shape into
+    // identical state, so the delta is exactly the clone + sort skip.
+    group.bench_function(BenchmarkId::new("learn", "sorted256"), |b| {
+        b.iter(|| {
+            let mut table = LeaFtlTable::new(LeaFtlConfig::default().with_gamma(4));
+            table.learn(black_box(&sorted_batch));
+            black_box(table.segment_count())
+        })
+    });
+    group.bench_function(BenchmarkId::new("learn_sorted", "sorted256"), |b| {
+        b.iter(|| {
+            let mut table = LeaFtlTable::new(LeaFtlConfig::default().with_gamma(4));
+            table.learn_sorted(black_box(&sorted_batch));
+            black_box(table.segment_count())
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_schemes, bench_learn_paths);
 criterion_main!(benches);

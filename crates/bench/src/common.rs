@@ -4,7 +4,8 @@
 use leaftl_baselines::{sftl_full_table_bytes, Dftl, Sftl};
 use leaftl_core::{LeaFtlConfig, TableStats};
 use leaftl_sim::{
-    replay, DramPolicy, HostOp, LeaFtlScheme, ReplayReport, SimStats, Ssd, SsdConfig,
+    replay, replay_open_loop, replay_queued, DramPolicy, HostOp, LeaFtlScheme, QueuedReplayReport,
+    ReplayReport, SimStats, Ssd, SsdConfig, TimedOp,
 };
 use leaftl_workloads::{warmup_ops, ProfileParams};
 use serde::Serialize;
@@ -39,6 +40,7 @@ impl SchemeKind {
 }
 
 /// A simulated SSD with its scheme type erased for experiment loops.
+#[derive(Clone)]
 pub enum AnySsd {
     Dftl(Ssd<Dftl>),
     Sftl(Ssd<Sftl>),
@@ -75,6 +77,32 @@ impl AnySsd {
         }
     }
 
+    /// Closed-loop replay through the queued engine at `queue_depth`.
+    pub fn replay_queued<I: IntoIterator<Item = HostOp>>(
+        &mut self,
+        ops: I,
+        queue_depth: usize,
+    ) -> QueuedReplayReport {
+        match self {
+            AnySsd::Dftl(ssd) => replay_queued(ssd, ops, queue_depth).expect("replay_queued"),
+            AnySsd::Sftl(ssd) => replay_queued(ssd, ops, queue_depth).expect("replay_queued"),
+            AnySsd::Lea(ssd) => replay_queued(ssd, ops, queue_depth).expect("replay_queued"),
+        }
+    }
+
+    /// Open-loop replay of a timestamped multi-stream trace.
+    pub fn replay_open_loop<I: IntoIterator<Item = TimedOp>>(
+        &mut self,
+        ops: I,
+        queue_depth: usize,
+    ) -> QueuedReplayReport {
+        match self {
+            AnySsd::Dftl(ssd) => replay_open_loop(ssd, ops, queue_depth).expect("replay_open_loop"),
+            AnySsd::Sftl(ssd) => replay_open_loop(ssd, ops, queue_depth).expect("replay_open_loop"),
+            AnySsd::Lea(ssd) => replay_open_loop(ssd, ops, queue_depth).expect("replay_open_loop"),
+        }
+    }
+
     pub fn flush(&mut self) {
         match self {
             AnySsd::Dftl(ssd) => ssd.flush().expect("flush"),
@@ -96,6 +124,15 @@ impl AnySsd {
             AnySsd::Dftl(ssd) => ssd.stats(),
             AnySsd::Sftl(ssd) => ssd.stats(),
             AnySsd::Lea(ssd) => ssd.stats(),
+        }
+    }
+
+    /// Host-visible logical capacity in pages.
+    pub fn config_logical_pages(&self) -> u64 {
+        match self {
+            AnySsd::Dftl(ssd) => ssd.config().logical_pages(),
+            AnySsd::Sftl(ssd) => ssd.config().logical_pages(),
+            AnySsd::Lea(ssd) => ssd.config().logical_pages(),
         }
     }
 

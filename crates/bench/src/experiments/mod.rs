@@ -6,6 +6,7 @@ mod latency;
 mod memory;
 mod perf;
 mod reliability;
+mod scalability;
 mod sensitivity;
 mod structure;
 mod tables;
@@ -124,6 +125,11 @@ pub fn registry() -> Vec<Experiment> {
             name: "recovery",
             description: "§5: crash-recovery scan time",
             run: reliability::recovery,
+        },
+        Experiment {
+            name: "scalability",
+            description: "Queue-depth sweep (IOPS, p99) + multi-tenant open-loop mix",
+            run: scalability::scalability,
         },
         Experiment {
             name: "ablation_sort",

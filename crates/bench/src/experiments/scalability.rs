@@ -1,0 +1,145 @@
+//! Queue-depth scalability and multi-tenant colocation — the
+//! concurrent-I/O evaluation the paper's closed-loop harness cannot
+//! express. Two parts:
+//!
+//! 1. **QD sweep**: IOPS and p99 service latency at queue depth
+//!    1/4/8/32 for LeaFTL vs DFTL vs SFTL on a skewed OLTP workload,
+//!    plus the legacy blocking path as the QD=1 cross-check. Deeper
+//!    queues overlap flash reads across the 16 × 4 die array, so IOPS
+//!    must rise with depth while QD=1 matches blocking within noise.
+//! 2. **Multi-tenant mix**: a Zipf point-lookup tenant colocated with
+//!    a sequential scanner, replayed open-loop with Poisson arrivals at
+//!    QD=32; reports per-tenant mean/p99 so mapping-scheme overheads
+//!    show up where they hurt — in the colocated tail.
+
+use crate::common::{print_table, AnySsd, Scale, SchemeKind, SEED};
+use leaftl_sim::DramPolicy;
+use leaftl_workloads::{
+    multi_tenant_trace, oltp, sequential_scanner, warmup_ops, zipf_tenant, TenantSpec,
+};
+use serde_json::{json, Value};
+
+const SCHEMES: [SchemeKind; 3] = [
+    SchemeKind::Dftl,
+    SchemeKind::Sftl,
+    SchemeKind::LeaFtl { gamma: 4 },
+];
+
+const DEPTHS: [usize; 4] = [1, 4, 8, 32];
+
+/// Builds a warmed device for `kind`: sequential prefill plus a
+/// workload warm-up pass, stats reset.
+fn warmed(kind: SchemeKind, scale: &Scale) -> AnySsd {
+    let config = scale.config(DramPolicy::DataFloor(0.2));
+    let logical = config.logical_pages();
+    let mut ssd = AnySsd::build(kind, config);
+    if scale.prefill > 0.0 {
+        ssd.replay(warmup_ops(logical, scale.prefill));
+    }
+    if scale.warm_ops > 0 {
+        ssd.replay(oltp().generate(logical, scale.warm_ops, SEED ^ 0xbeef));
+    }
+    ssd.flush();
+    ssd.reset_stats();
+    ssd
+}
+
+/// The queue-depth sweep plus the multi-tenant colocation mix.
+pub fn scalability(quick: bool) -> Value {
+    let scale = Scale::perf(quick);
+
+    // ---- Part 1: QD sweep -------------------------------------------
+    let mut rows = Vec::new();
+    let mut sweep_out = Vec::new();
+    for &kind in &SCHEMES {
+        let base = warmed(kind, &scale);
+        let logical = base.config_logical_pages();
+        let ops = oltp().generate(logical, scale.ops, SEED);
+
+        // Legacy blocking path: the QD=1 cross-check.
+        let blocking = {
+            let mut ssd = base.clone();
+            let report = ssd.replay(ops.clone());
+            let pages = report.pages_read + report.pages_written;
+            pages as f64 / (report.elapsed_ns.max(1) as f64 / 1e9)
+        };
+
+        let mut depth_iops = Vec::new();
+        let mut depth_p99 = Vec::new();
+        let mut row = vec![kind.label()];
+        row.push(format!("{:.0}", blocking));
+        for &depth in &DEPTHS {
+            let mut ssd = base.clone();
+            let report = ssd.replay_queued(ops.clone(), depth);
+            depth_iops.push(report.iops());
+            depth_p99.push(report.p99_latency_us());
+            row.push(format!(
+                "{:.0} ({:.0}µs)",
+                report.iops(),
+                report.p99_latency_us()
+            ));
+        }
+        rows.push(row);
+        sweep_out.push(json!({
+            "scheme": kind.label(),
+            "queue_depths": DEPTHS,
+            "iops": depth_iops,
+            "p99_latency_us": depth_p99,
+            "blocking_iops": blocking,
+        }));
+    }
+    print_table(
+        "Scalability: IOPS (p99) vs queue depth, OLTP workload — IOPS must rise with QD; QD=1 ≈ blocking",
+        &["scheme", "blocking", "QD=1", "QD=4", "QD=8", "QD=32"],
+        &rows,
+    );
+
+    // ---- Part 2: multi-tenant colocation ----------------------------
+    // Arrival rates sized to run near (not past) the device's service
+    // capacity, so per-tenant tails reflect queueing + interference
+    // rather than divergent backlog. Both tenants span the same trace
+    // window: ops × mean gap is equal.
+    let (zipf_ops, scan_ops) = if quick { (2_000, 32) } else { (12_000, 192) };
+    let tenants = vec![
+        TenantSpec::new(zipf_tenant(), 0, 40_000, zipf_ops),
+        TenantSpec::new(sequential_scanner(), 1, 2_500_000, scan_ops),
+    ];
+    let mut rows = Vec::new();
+    let mut mix_out = Vec::new();
+    for &kind in &SCHEMES {
+        let mut ssd = warmed(kind, &scale);
+        let logical = ssd.config_logical_pages();
+        let trace = multi_tenant_trace(&tenants, logical, SEED);
+        let report = ssd.replay_open_loop(trace, 32);
+        let mut row = vec![kind.label(), format!("{:.0}", report.iops())];
+        let mut streams = Vec::new();
+        for stream in &report.per_stream {
+            let mean = stream.latency.mean_ns() / 1000.0;
+            let p99 = stream.latency.percentile_ns(99.0) as f64 / 1000.0;
+            row.push(format!("{mean:.0}µs/{p99:.0}µs"));
+            streams.push(json!({
+                "stream": stream.stream,
+                "requests": stream.latency.count(),
+                "mean_latency_us": mean,
+                "p99_latency_us": p99,
+            }));
+        }
+        rows.push(row);
+        mix_out.push(json!({
+            "scheme": kind.label(),
+            "iops": report.iops(),
+            "streams": streams,
+        }));
+    }
+    print_table(
+        "Multi-tenant mix (open-loop, QD=32): Zipf tenant + sequential scanner, mean/p99 per tenant",
+        &["scheme", "IOPS", "zipf mean/p99", "scan mean/p99"],
+        &rows,
+    );
+
+    json!({
+        "experiment": "scalability",
+        "qd_sweep": sweep_out,
+        "multi_tenant": mix_out,
+    })
+}

@@ -77,6 +77,10 @@ impl LeaFtlTable {
     /// before fitting, mirroring the controller's buffer sort. PPAs of
     /// the sorted batch must be strictly increasing — the allocator
     /// assigns consecutive PPAs to the sorted pages.
+    ///
+    /// When the caller already holds an LPA-sorted, deduplicated batch
+    /// (the flush path drains the write buffer exactly so), use
+    /// [`LeaFtlTable::learn_sorted`] to skip the clone + sort.
     pub fn learn(&mut self, pairs: &[(Lpa, Ppa)]) {
         if pairs.is_empty() {
             return;
@@ -94,22 +98,44 @@ impl LeaFtlTable {
             }
             deduped.push((lpa, ppa));
         }
-        self.total_writes_learned += deduped.len() as u64;
-        self.writes_since_compaction += deduped.len() as u64;
+        self.learn_sorted(&deduped);
+    }
+
+    /// Fast path of [`LeaFtlTable::learn`] for batches that are already
+    /// sorted by strictly increasing LPA with no duplicates — the shape
+    /// every buffer flush, GC migration and wear-levelling swap produces
+    /// by construction. Skips the defensive clone, sort and dedup.
+    ///
+    /// # Panics
+    ///
+    /// Debug builds assert the precondition; release builds trust it
+    /// (a violated precondition merely yields extra single-point
+    /// segments, never corruption, because per-group runs re-check PPA
+    /// monotonicity).
+    pub fn learn_sorted(&mut self, pairs: &[(Lpa, Ppa)]) {
+        debug_assert!(
+            pairs.windows(2).all(|w| w[0].0 < w[1].0),
+            "learn_sorted requires strictly increasing LPAs"
+        );
+        if pairs.is_empty() {
+            return;
+        }
+        self.total_writes_learned += pairs.len() as u64;
+        self.writes_since_compaction += pairs.len() as u64;
 
         // Split into per-group monotonic runs and fit each.
         let gamma = self.config.gamma;
         let mut start = 0usize;
-        while start < deduped.len() {
-            let group_id = deduped[start].0.group();
+        while start < pairs.len() {
+            let group_id = pairs[start].0.group();
             let mut end = start + 1;
-            while end < deduped.len()
-                && deduped[end].0.group() == group_id
-                && deduped[end].1 > deduped[end - 1].1
+            while end < pairs.len()
+                && pairs[end].0.group() == group_id
+                && pairs[end].1 > pairs[end - 1].1
             {
                 end += 1;
             }
-            let points: Vec<(u8, u64)> = deduped[start..end]
+            let points: Vec<(u8, u64)> = pairs[start..end]
                 .iter()
                 .map(|&(lpa, ppa)| (lpa.group_offset(), ppa.raw()))
                 .collect();
@@ -135,6 +161,44 @@ impl LeaFtlTable {
             },
             levels_visited: hit.levels_visited,
         })
+    }
+
+    /// Translates a batch of LPAs, amortising the group traversal:
+    /// consecutive LPAs from the same 256-LPA group reuse one group
+    /// fetch instead of re-walking the group index per address. Queued
+    /// read bursts are typically clustered (sequential scans, Zipf hot
+    /// sets), which is exactly where the memoisation pays.
+    ///
+    /// Semantically identical to per-LPA [`LeaFtlTable::lookup`].
+    pub fn lookup_batch(&self, lpas: &[Lpa]) -> Vec<Option<LookupResult>> {
+        let mut cached: Option<(u64, &Group)> = None;
+        lpas.iter()
+            .map(|&lpa| {
+                let group_id = lpa.group();
+                let group = match cached {
+                    Some((id, group)) if id == group_id => Some(group),
+                    _ => {
+                        let found = self.groups.get(&group_id);
+                        if let Some(group) = found {
+                            cached = Some((group_id, group));
+                        }
+                        found
+                    }
+                };
+                group
+                    .and_then(|g| g.lookup(lpa.group_offset()))
+                    .map(|hit| LookupResult {
+                        ppa: hit.ppa,
+                        approximate: hit.approximate,
+                        error_bound: if hit.approximate {
+                            self.config.gamma
+                        } else {
+                            0
+                        },
+                        levels_visited: hit.levels_visited,
+                    })
+            })
+            .collect()
     }
 
     /// Compacts every group (Algorithm 1 `seg_compact`), reclaiming
@@ -407,7 +471,50 @@ mod tests {
     fn empty_learn_is_noop() {
         let mut table = LeaFtlTable::new(LeaFtlConfig::default());
         table.learn(&[]);
+        table.learn_sorted(&[]);
         assert_eq!(table.segment_count(), 0);
         assert_eq!(table.group_count(), 0);
+    }
+
+    #[test]
+    fn learn_sorted_matches_learn() {
+        // A realistic flush batch: sorted, unique LPAs across groups
+        // with a gap that breaks the PPA run.
+        let pairs: Vec<(Lpa, Ppa)> = (0..300u64)
+            .map(|i| (Lpa::new(i * 3), Ppa::new(40_000 + i)))
+            .collect();
+        let mut via_learn = LeaFtlTable::new(LeaFtlConfig::default().with_gamma(4));
+        via_learn.learn(&pairs);
+        let mut via_sorted = LeaFtlTable::new(LeaFtlConfig::default().with_gamma(4));
+        via_sorted.learn_sorted(&pairs);
+        assert_eq!(via_sorted.segment_count(), via_learn.segment_count());
+        assert_eq!(via_sorted.writes_learned(), via_learn.writes_learned());
+        assert_eq!(
+            via_sorted.memory_bytes().total(),
+            via_learn.memory_bytes().total()
+        );
+        for &(lpa, _) in &pairs {
+            assert_eq!(via_sorted.lookup(lpa), via_learn.lookup(lpa));
+        }
+    }
+
+    #[test]
+    fn lookup_batch_matches_pointwise_lookup() {
+        let mut table = LeaFtlTable::new(LeaFtlConfig::default().with_gamma(4));
+        table.learn(&batch(0, 1000, 512));
+        table.learn(&[
+            (Lpa::new(100), Ppa::new(9000)),
+            (Lpa::new(103), Ppa::new(9001)),
+            (Lpa::new(700), Ppa::new(9002)),
+        ]);
+        // Mixed order: group reuse, group switches, unmapped addresses.
+        let lpas: Vec<Lpa> = [0u64, 1, 100, 101, 103, 300, 700, 999, 5000, 2]
+            .into_iter()
+            .map(Lpa::new)
+            .collect();
+        let batched = table.lookup_batch(&lpas);
+        for (lpa, got) in lpas.iter().zip(&batched) {
+            assert_eq!(*got, table.lookup(*lpa), "lpa {lpa}");
+        }
     }
 }

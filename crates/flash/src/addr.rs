@@ -148,6 +148,38 @@ impl fmt::Display for BlockId {
     }
 }
 
+/// Identifier of a flash die (LUN): the unit that executes one NAND
+/// operation at a time. Dies are the timing model's independent service
+/// resources — a channel multiplexes [`FlashGeometry::dies_per_channel`]
+/// of them, so concurrent requests overlap die-by-die.
+///
+/// [`FlashGeometry::dies_per_channel`]: crate::FlashGeometry::dies_per_channel
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct Die(u32);
+
+impl Die {
+    /// Creates a die id from a raw index (device-wide, linear over
+    /// `channels × dies_per_channel`).
+    #[inline]
+    pub const fn new(raw: u32) -> Self {
+        Die(raw)
+    }
+
+    /// Returns the raw die index.
+    #[inline]
+    pub const fn raw(self) -> u32 {
+        self.0
+    }
+}
+
+impl fmt::Display for Die {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "D{}", self.0)
+    }
+}
+
 /// Identifier of a flash channel, used by the timing model to account
 /// for channel-level parallelism.
 #[derive(
@@ -211,6 +243,7 @@ mod tests {
         assert_eq!(Ppa::new(8).to_string(), "P8");
         assert_eq!(BlockId::new(9).to_string(), "B9");
         assert_eq!(Channel::new(1).to_string(), "C1");
+        assert_eq!(Die::new(3).to_string(), "D3");
     }
 
     #[test]

@@ -1,19 +1,25 @@
 //! SSD geometry: how pages, blocks, chips and channels are laid out.
 
-use crate::addr::{BlockId, Channel, Ppa};
+use crate::addr::{BlockId, Channel, Die, Ppa};
 use serde::{Deserialize, Serialize};
 
 /// Physical organisation of the NAND array.
 ///
 /// The default mirrors Table 1 of the LeaFTL paper: a 2 TB SSD with 16
 /// channels, 4 KB pages, 256 pages per block and 128 B of OOB per page.
-/// Blocks are interleaved across channels (`channel = block_id %
-/// channels`), so a buffer flushed to one block lands on one channel
-/// while concurrent flushes spread over the array.
+/// Each channel multiplexes [`FlashGeometry::dies_per_channel`] dies
+/// (LUNs); a die executes one NAND operation at a time, so the device's
+/// service parallelism is `channels × dies_per_channel`. Blocks are
+/// interleaved across dies (`die = block_id % total_dies`), which keeps
+/// the channel layout (`channel = block_id % channels`) unchanged while
+/// spreading consecutive block allocations over all dies.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub struct FlashGeometry {
     /// Number of independent flash channels.
     pub channels: u32,
+    /// Dies (LUNs) multiplexed on each channel. The timing model
+    /// serialises operations per die, not per channel.
+    pub dies_per_channel: u32,
     /// Number of erase blocks in the whole device.
     pub blocks: u64,
     /// Pages per erase block.
@@ -34,6 +40,7 @@ impl FlashGeometry {
     pub fn paper_default() -> Self {
         FlashGeometry {
             channels: 16,
+            dies_per_channel: 4,
             blocks: 2 * 1024 * 1024,
             pages_per_block: 256,
             page_size: 4096,
@@ -47,6 +54,7 @@ impl FlashGeometry {
     pub fn small_test() -> Self {
         FlashGeometry {
             channels: 4,
+            dies_per_channel: 2,
             blocks: 64,
             pages_per_block: 32,
             page_size: 4096,
@@ -120,6 +128,33 @@ impl FlashGeometry {
     #[inline]
     pub fn channel_of_block_start(&self, block: BlockId) -> Channel {
         self.channel_of_block(block)
+    }
+
+    /// Total number of dies (LUNs) in the device — the timing model's
+    /// independent service resources.
+    #[inline]
+    pub fn total_dies(&self) -> u32 {
+        self.channels * self.dies_per_channel.max(1)
+    }
+
+    /// The die servicing a block (die-interleaved layout). Because
+    /// `total_dies` is a multiple of `channels`, this is consistent with
+    /// [`FlashGeometry::channel_of_block`]: `die % channels == channel`.
+    #[inline]
+    pub fn die_of_block(&self, block: BlockId) -> Die {
+        Die::new((block.raw() % self.total_dies() as u64) as u32)
+    }
+
+    /// The die servicing a PPA.
+    #[inline]
+    pub fn die_of(&self, ppa: Ppa) -> Die {
+        self.die_of_block(self.block_of(ppa))
+    }
+
+    /// The channel a die hangs off.
+    #[inline]
+    pub fn channel_of_die(&self, die: Die) -> Channel {
+        Channel::new(die.raw() % self.channels)
     }
 
     /// First PPA of a block.
@@ -198,6 +233,30 @@ mod tests {
         let c = g.channel_of_block(b);
         for page in 0..g.pages_per_block {
             assert_eq!(g.channel_of(g.ppa(b, page)), c);
+        }
+    }
+
+    #[test]
+    fn dies_are_block_interleaved_and_channel_consistent() {
+        let g = FlashGeometry::small_test();
+        assert_eq!(g.total_dies(), 8);
+        assert_eq!(g.die_of_block(BlockId::new(0)), Die::new(0));
+        assert_eq!(g.die_of_block(BlockId::new(5)), Die::new(5));
+        assert_eq!(g.die_of_block(BlockId::new(9)), Die::new(1));
+        // Die assignment refines the channel assignment: every block's
+        // die lives on the block's channel.
+        for raw in 0..g.blocks {
+            let block = BlockId::new(raw);
+            assert_eq!(
+                g.channel_of_die(g.die_of_block(block)),
+                g.channel_of_block(block)
+            );
+        }
+        // All pages of one block share a die.
+        let b = BlockId::new(11);
+        let d = g.die_of_block(b);
+        for page in 0..g.pages_per_block {
+            assert_eq!(g.die_of(g.ppa(b, page)), d);
         }
     }
 

@@ -52,7 +52,7 @@ mod oob;
 mod stats;
 mod timing;
 
-pub use addr::{BlockId, Channel, Lpa, Ppa};
+pub use addr::{BlockId, Channel, Die, Lpa, Ppa};
 pub use block::{Block, PageState};
 pub use device::{FlashDevice, PageView};
 pub use error::FlashError;

@@ -1,28 +1,39 @@
-//! Virtual time and channel-parallelism accounting.
+//! Virtual time and die-parallelism accounting.
 
-use leaftl_flash::Channel;
+use leaftl_flash::Die;
 use serde::{Deserialize, Serialize};
 
-/// Nanosecond-resolution virtual clock with per-channel busy tracking.
+/// Nanosecond-resolution virtual clock with per-die busy tracking.
 ///
-/// Host requests are replayed closed-loop: the clock advances to the
-/// completion time of each synchronous step. Flash operations are
-/// serialised per channel but run in parallel across channels — a buffer
-/// flush that spreads blocks over several channels completes when the
-/// last channel drains, reproducing the paper's channel-level
-/// parallelism (Table 1: 16 channels).
+/// `now_ns` is the host/controller's notion of "now" — the dispatch
+/// point of the request currently being processed. Flash operations are
+/// serialised per die but run in parallel across dies: each die carries
+/// its own busy-until timeline, so operations scheduled by different
+/// in-flight requests overlap whenever they land on different dies
+/// (Table 1: 16 channels × 4 dies).
+///
+/// Two scheduling flavours exist:
+///
+/// * [`SimClock::schedule`] — starts no earlier than `now_ns` (used for
+///   background work issued "now": flush programs, GC, write-backs).
+/// * [`SimClock::schedule_after`] — starts no earlier than an explicit
+///   floor, which lets a request chain its *dependent* operations
+///   (translation read → data read → misprediction retry) without
+///   advancing the global clock. The queued I/O engine relies on this:
+///   each request carries its own ready time while `now_ns` only moves
+///   at dispatch/completion boundaries.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct SimClock {
     now_ns: u64,
-    channel_busy_until: Vec<u64>,
+    die_busy_until: Vec<u64>,
 }
 
 impl SimClock {
-    /// A clock at time zero for `channels` flash channels.
-    pub fn new(channels: u32) -> Self {
+    /// A clock at time zero for `dies` flash dies.
+    pub fn new(dies: u32) -> Self {
         SimClock {
             now_ns: 0,
-            channel_busy_until: vec![0; channels as usize],
+            die_busy_until: vec![0; dies as usize],
         }
     }
 
@@ -31,18 +42,27 @@ impl SimClock {
         self.now_ns
     }
 
-    /// Advances time by a CPU/controller cost that occupies no channel.
+    /// Advances time by a CPU/controller cost that occupies no die.
     pub fn advance(&mut self, ns: u64) {
         self.now_ns += ns;
     }
 
-    /// Schedules an operation of `latency_ns` on `channel`, starting no
+    /// Schedules an operation of `latency_ns` on `die`, starting no
     /// earlier than now, and returns its completion time. Does **not**
     /// advance the clock — use [`SimClock::wait_until`] when the host
     /// blocks on the result.
-    pub fn schedule(&mut self, channel: Channel, latency_ns: u64) -> u64 {
-        let busy = &mut self.channel_busy_until[channel.raw() as usize];
-        let start = (*busy).max(self.now_ns);
+    pub fn schedule(&mut self, die: Die, latency_ns: u64) -> u64 {
+        let floor = self.now_ns;
+        self.schedule_after(die, floor, latency_ns)
+    }
+
+    /// Schedules an operation of `latency_ns` on `die`, starting no
+    /// earlier than `earliest_ns` (a per-request dependency floor), and
+    /// returns its completion time. The die's timeline advances; the
+    /// global clock does not.
+    pub fn schedule_after(&mut self, die: Die, earliest_ns: u64, latency_ns: u64) -> u64 {
+        let busy = &mut self.die_busy_until[die.raw() as usize];
+        let start = (*busy).max(earliest_ns);
         let end = start + latency_ns;
         *busy = end;
         end
@@ -55,11 +75,16 @@ impl SimClock {
 
     /// Schedules a host-blocking operation: the clock advances to its
     /// completion. Returns the operation latency observed by the host.
-    pub fn run_blocking(&mut self, channel: Channel, latency_ns: u64) -> u64 {
+    pub fn run_blocking(&mut self, die: Die, latency_ns: u64) -> u64 {
         let started = self.now_ns;
-        let end = self.schedule(channel, latency_ns);
+        let end = self.schedule(die, latency_ns);
         self.wait_until(end);
         self.now_ns - started
+    }
+
+    /// When `die` next falls idle (tests and instrumentation).
+    pub fn busy_until(&self, die: Die) -> u64 {
+        self.die_busy_until[die.raw() as usize]
     }
 }
 
@@ -68,18 +93,18 @@ mod tests {
     use super::*;
 
     #[test]
-    fn blocking_ops_serialize_on_one_channel() {
+    fn blocking_ops_serialize_on_one_die() {
         let mut clock = SimClock::new(2);
-        clock.run_blocking(Channel::new(0), 100);
-        clock.run_blocking(Channel::new(0), 100);
+        clock.run_blocking(Die::new(0), 100);
+        clock.run_blocking(Die::new(0), 100);
         assert_eq!(clock.now_ns(), 200);
     }
 
     #[test]
-    fn channels_run_in_parallel() {
+    fn dies_run_in_parallel() {
         let mut clock = SimClock::new(2);
-        let end0 = clock.schedule(Channel::new(0), 100);
-        let end1 = clock.schedule(Channel::new(1), 100);
+        let end0 = clock.schedule(Die::new(0), 100);
+        let end1 = clock.schedule(Die::new(1), 100);
         assert_eq!(end0, 100);
         assert_eq!(end1, 100);
         clock.wait_until(end0.max(end1));
@@ -87,27 +112,44 @@ mod tests {
     }
 
     #[test]
-    fn same_channel_queues() {
+    fn same_die_queues() {
         let mut clock = SimClock::new(1);
-        let first = clock.schedule(Channel::new(0), 100);
-        let second = clock.schedule(Channel::new(0), 50);
+        let first = clock.schedule(Die::new(0), 100);
+        let second = clock.schedule(Die::new(0), 50);
         assert_eq!(first, 100);
         assert_eq!(second, 150);
     }
 
     #[test]
-    fn cpu_advance_moves_past_idle_channels() {
+    fn cpu_advance_moves_past_idle_dies() {
         let mut clock = SimClock::new(1);
         clock.advance(500);
-        let end = clock.schedule(Channel::new(0), 100);
+        let end = clock.schedule(Die::new(0), 100);
         assert_eq!(end, 600);
     }
 
     #[test]
     fn blocking_latency_includes_queueing() {
         let mut clock = SimClock::new(1);
-        clock.schedule(Channel::new(0), 300); // fills the channel
-        let latency = clock.run_blocking(Channel::new(0), 100);
+        clock.schedule(Die::new(0), 300); // fills the die
+        let latency = clock.run_blocking(Die::new(0), 100);
         assert_eq!(latency, 400);
+    }
+
+    #[test]
+    fn schedule_after_chains_dependencies_across_dies() {
+        let mut clock = SimClock::new(2);
+        // A request's second op depends on its first even on another,
+        // idle die.
+        let first = clock.schedule_after(Die::new(0), 0, 100);
+        let second = clock.schedule_after(Die::new(1), first, 50);
+        assert_eq!(second, 150);
+        // The global clock never moved — other requests may overlap.
+        assert_eq!(clock.now_ns(), 0);
+        // An independent request dispatched now still starts at 0 on a
+        // free die... but die 1 is busy until 150.
+        assert_eq!(clock.busy_until(Die::new(1)), 150);
+        let third = clock.schedule_after(Die::new(1), 0, 25);
+        assert_eq!(third, 175);
     }
 }

@@ -3,8 +3,10 @@
 //! The evaluation substrate of the LeaFTL reproduction — the equivalent
 //! of the WiscSim simulator the paper builds on (§3.9). It models:
 //!
-//! * a virtual nanosecond clock with per-channel parallelism
-//!   ([`clock`]),
+//! * a virtual nanosecond clock with per-die parallelism ([`clock`]),
+//! * a queued submission/completion I/O engine ([`IoEngine`]) with
+//!   configurable queue depth, out-of-order completion, and open-loop
+//!   multi-stream replay ([`replay_queued`], [`replay_open_loop`]),
 //! * the controller DRAM split between mapping structures, write
 //!   buffer, and LRU data cache ([`SsdConfig`], [`DramPolicy`]),
 //! * the write path: buffering, LPA-sorted block-granular flushes
@@ -46,19 +48,26 @@ pub mod allocator;
 pub mod buffer;
 pub mod clock;
 mod config;
+mod engine;
 mod error;
 mod leaftl_scheme;
 pub mod lru;
 mod mapping;
 mod replay;
+mod request;
 mod ssd;
 mod stats;
 pub mod validity;
 
 pub use config::{DramPolicy, GcPolicy, SsdConfig};
+pub use engine::IoEngine;
 pub use error::SimError;
 pub use leaftl_scheme::LeaFtlScheme;
 pub use mapping::{ExactPageMap, MapCost, MappingLookup, MappingScheme};
-pub use replay::{replay, HostOp, ReplayReport};
+pub use replay::{
+    replay, replay_open_loop, replay_queued, HostOp, QueuedReplayReport, ReplayReport,
+    StreamLatency, TimedOp,
+};
+pub use request::{IoCompletion, IoKind, IoRequest};
 pub use ssd::{RecoveryReport, Ssd};
 pub use stats::{FlashOpBreakdown, LatencyHistogram, SimStats};

@@ -67,12 +67,43 @@ pub trait MappingScheme {
     /// Human-readable scheme name (used in experiment output).
     fn name(&self) -> &'static str;
 
-    /// Installs mappings for a flushed batch. `pairs` are sorted by LPA
-    /// with strictly increasing PPAs (one contiguous allocation run).
+    /// Installs mappings for a flushed batch. Entries may arrive in any
+    /// order (the unsorted-flush ablation disables the buffer sort);
+    /// the scheme must tolerate duplicates (last write wins).
     fn update_batch(&mut self, pairs: &[(Lpa, Ppa)]) -> MapCost;
+
+    /// Installs a batch known to be sorted by strictly increasing LPA
+    /// with no duplicates — the shape every sorted flush, GC migration
+    /// and wear swap produces. Schemes that pay for defensive sorting
+    /// (LeaFTL's learner) override this with a fast path; the default
+    /// simply forwards to [`MappingScheme::update_batch`].
+    fn update_batch_sorted(&mut self, pairs: &[(Lpa, Ppa)]) -> MapCost {
+        self.update_batch(pairs)
+    }
 
     /// Translates an LPA, or `None` when unmapped.
     fn lookup(&mut self, lpa: Lpa) -> (Option<MappingLookup>, MapCost);
+
+    /// Translates a batch of LPAs (one queued-engine dispatch round).
+    /// Semantically equivalent to calling [`MappingScheme::lookup`] per
+    /// address in order; schemes with hierarchical indexes override it
+    /// to amortise the traversal across the batch.
+    fn lookup_batch(&mut self, lpas: &[Lpa]) -> Vec<(Option<MappingLookup>, MapCost)> {
+        lpas.iter().map(|&lpa| self.lookup(lpa)).collect()
+    }
+
+    /// Whether [`MappingScheme::lookup`] is currently free of side
+    /// effects (no demand-paging state changes, no flash cost). When
+    /// true, the engine may *hoist* a read burst's translations into
+    /// one [`MappingScheme::lookup_batch`] call ahead of servicing;
+    /// when false it must translate each request at its turn, because
+    /// hoisting would reorder cache/CMT mutations relative to the
+    /// blocking path. Defaults to the conservative `false`; schemes
+    /// whose tables are DRAM-resident (LeaFTL's headline case) return
+    /// true.
+    fn lookup_is_pure(&self) -> bool {
+        false
+    }
 
     /// Bytes of controller DRAM the scheme currently occupies.
     fn memory_bytes(&self) -> usize;
@@ -157,6 +188,10 @@ impl MappingScheme for ExactPageMap {
 
     fn maintain(&mut self) -> (MapCost, bool) {
         (MapCost::FREE, false)
+    }
+
+    fn lookup_is_pure(&self) -> bool {
+        true
     }
 }
 

@@ -10,7 +10,7 @@ use crate::lru::LruCache;
 use crate::mapping::{MapCost, MappingLookup, MappingScheme};
 use crate::stats::SimStats;
 use crate::validity::Validity;
-use leaftl_flash::{BlockId, Channel, FlashDevice, Lpa, Ppa};
+use leaftl_flash::{BlockId, Die, FlashDevice, Lpa, Ppa};
 
 /// DRAM access latency charged for buffer/cache hits (page transfer
 /// over the controller's internal bus).
@@ -46,8 +46,13 @@ pub struct RecoveryReport {
 
 /// A simulated flash SSD, generic over its [`MappingScheme`].
 ///
-/// Host I/O is page-granular and replayed closed-loop: each request
-/// completes (advancing the virtual clock) before the next is issued.
+/// Host I/O is page-granular. [`Ssd::read`] / [`Ssd::write`] are the
+/// blocking queue-depth-1 interface: each request completes (advancing
+/// the virtual clock) before the next is issued. Internally both are
+/// thin wrappers over non-blocking *service* paths that schedule flash
+/// work on per-die timelines and return a completion deadline — the
+/// [`crate::IoEngine`] drives those same paths with many requests in
+/// flight to model submission/completion queues.
 ///
 /// # Example
 ///
@@ -98,7 +103,7 @@ impl<S: MappingScheme + Clone> Ssd<S> {
         let pristine_scheme = scheme.clone();
         Ssd {
             device: FlashDevice::with_timing(config.geometry, config.timing),
-            clock: SimClock::new(config.geometry.channels),
+            clock: SimClock::new(config.geometry.total_dies()),
             allocator: BlockAllocator::with_stripe(config.geometry, config.stripe_pages),
             validity: Validity::new(config.geometry),
             buffer: WriteBuffer::new(),
@@ -134,6 +139,12 @@ impl<S: MappingScheme + Clone> Ssd<S> {
         self.clock.now_ns()
     }
 
+    /// Advances the host clock to `ns` (no-op if already past) — the
+    /// engine's dispatch/completion boundary hook.
+    pub(crate) fn advance_to(&mut self, ns: u64) {
+        self.clock.wait_until(ns);
+    }
+
     /// Read access to the mapping scheme.
     pub fn scheme(&self) -> &S {
         &self.scheme
@@ -167,48 +178,67 @@ impl<S: MappingScheme + Clone> Ssd<S> {
         Ok(())
     }
 
-    fn translation_channel(&self, lpa: Lpa) -> Channel {
-        let tpage = lpa.raw() >> 9; // 512 entries per translation page
-        Channel::new((tpage % self.config.geometry.channels as u64) as u32)
+    /// Mapping entries per translation page, derived from the page
+    /// size (8 B per entry: 4 B LPA + 4 B PPA). A 4 KB page holds 512
+    /// entries; the Fig. 22b page-size sweep scales with it so
+    /// translation I/O is charged consistently at every page size.
+    fn translation_entries_per_page(&self) -> u64 {
+        (self.config.geometry.page_size as u64 / 8).max(1)
     }
 
+    fn translation_die(&self, lpa: Lpa) -> Die {
+        let tpage = lpa.raw() / self.translation_entries_per_page();
+        Die::new((tpage % self.config.geometry.total_dies() as u64) as u32)
+    }
+
+    /// Charges translation I/O with the host blocked on the reads
+    /// (legacy blocking call sites: flush-side maintenance).
     fn charge_map_cost(&mut self, lpa: Lpa, cost: MapCost) {
-        self.charge_map_cost_inner(lpa, cost, true);
+        let ready = self.charge_map_cost_at(lpa, cost, self.clock.now_ns());
+        self.clock.wait_until(ready);
     }
 
     /// Translation I/O issued from the asynchronous flush path: it
-    /// occupies channels (delaying future reads) without blocking the
-    /// host directly.
+    /// occupies dies (delaying future reads) without blocking the host
+    /// directly.
     fn charge_map_cost_background(&mut self, lpa: Lpa, cost: MapCost) {
-        self.charge_map_cost_inner(lpa, cost, false);
-    }
-
-    fn charge_map_cost_inner(&mut self, lpa: Lpa, cost: MapCost, blocking: bool) {
         if cost.translation_reads == 0 && cost.translation_writes == 0 {
             return;
         }
-        let channel = self.translation_channel(lpa);
+        let die = self.translation_die(lpa);
         for _ in 0..cost.translation_reads {
-            if blocking {
-                self.clock.run_blocking(channel, self.config.timing.read_ns);
-            } else {
-                self.clock.schedule(channel, self.config.timing.read_ns);
-            }
+            self.clock.schedule(die, self.config.timing.read_ns);
             self.stats.flash.translation_reads += 1;
         }
         for _ in 0..cost.translation_writes {
-            // Write-backs are asynchronous: they occupy the channel but
-            // do not block the host directly.
-            self.clock.schedule(channel, self.config.timing.program_ns);
+            self.clock.schedule(die, self.config.timing.program_ns);
             self.stats.flash.translation_programs += 1;
         }
     }
 
-    fn charge_lookup_cpu(&mut self, levels: u32) {
-        let ns = self.config.lookup_base_ns
-            + self.config.lookup_per_level_ns * levels.saturating_sub(1) as u64;
-        self.clock.advance(ns);
-        self.stats.lookup_cpu_ns += ns;
+    /// Charges translation I/O on one request's dependency chain:
+    /// reads serialise after `ready_ns` (the request waits on them),
+    /// write-backs are fired asynchronously at the same floor. Returns
+    /// the request's new ready time. The global clock does not move.
+    fn charge_map_cost_at(&mut self, lpa: Lpa, cost: MapCost, mut ready_ns: u64) -> u64 {
+        if cost.translation_reads == 0 && cost.translation_writes == 0 {
+            return ready_ns;
+        }
+        let die = self.translation_die(lpa);
+        for _ in 0..cost.translation_reads {
+            ready_ns = self
+                .clock
+                .schedule_after(die, ready_ns, self.config.timing.read_ns);
+            self.stats.flash.translation_reads += 1;
+        }
+        for _ in 0..cost.translation_writes {
+            // Write-backs are asynchronous: they occupy the die but do
+            // not extend the request.
+            self.clock
+                .schedule_after(die, ready_ns, self.config.timing.program_ns);
+            self.stats.flash.translation_programs += 1;
+        }
+        ready_ns
     }
 
     fn enforce_cache_capacity(&mut self) {
@@ -222,84 +252,169 @@ impl<S: MappingScheme + Clone> Ssd<S> {
 
     /// Reads one logical page. Returns `None` for never-written pages.
     ///
+    /// Blocking queue-depth-1 wrapper over [`Ssd::service_read`]: the
+    /// virtual clock advances to the request's completion before
+    /// returning, exactly the legacy closed-loop semantics.
+    ///
     /// # Errors
     ///
     /// * [`SimError::LpaOutOfRange`] — address beyond logical capacity.
     /// * [`SimError::MappingCorruption`] — internal consistency bug.
     pub fn read(&mut self, lpa: Lpa) -> Result<Option<u64>, SimError> {
+        let (value, complete_ns) = self.service_read(lpa)?;
+        self.clock.wait_until(complete_ns);
+        Ok(value)
+    }
+
+    /// Services one read without blocking the virtual clock: flash work
+    /// is chained on the per-die timelines starting at the current
+    /// dispatch time, and the request's completion time is returned
+    /// alongside the value. State (caches, stats, device) changes
+    /// immediately; only time is deferred. The queued engine overlaps
+    /// requests by dispatching the next one before waiting.
+    pub(crate) fn service_read(&mut self, lpa: Lpa) -> Result<(Option<u64>, u64), SimError> {
+        self.service_read_inner(lpa, None)
+    }
+
+    /// Services a burst of reads dispatched together, amortising the
+    /// mapping-table traversal across the batch via
+    /// [`MappingScheme::lookup_batch`]. Hoisting the translations ahead
+    /// of servicing is only legal while the scheme's lookups are pure
+    /// ([`MappingScheme::lookup_is_pure`], i.e. the table is resident);
+    /// under demand paging each request translates at its turn instead,
+    /// so cache/CMT mutations keep the blocking path's order. Either
+    /// way, results, flash-op counts and scheme state are identical to
+    /// sequential servicing.
+    pub(crate) fn service_read_batch(
+        &mut self,
+        lpas: &[Lpa],
+    ) -> Result<Vec<(Option<u64>, u64)>, SimError> {
+        for &lpa in lpas {
+            self.check_lpa(lpa)?;
+        }
+        if !self.scheme.lookup_is_pure() {
+            return lpas
+                .iter()
+                .map(|&lpa| self.service_read_inner(lpa, None))
+                .collect();
+        }
+        // Prefetch translations only for the *first* occurrence of each
+        // address that misses DRAM right now. Later occurrences re-check
+        // at their turn — they either hit the cache the first read
+        // populated (no lookup, like the blocking path) or fall back to
+        // a pointwise lookup at exactly the moment the blocking path
+        // would. (With a pure lookup this is an optimisation, not a
+        // correctness condition.)
+        let mut seen = std::collections::HashSet::new();
+        let needs_lookup: Vec<Lpa> = lpas
+            .iter()
+            .copied()
+            .filter(|lpa| {
+                self.buffer.get(*lpa).is_none()
+                    && !self.read_cache.contains(lpa)
+                    && seen.insert(*lpa)
+            })
+            .collect();
+        let mut prefetched = self.scheme.lookup_batch(&needs_lookup).into_iter();
+        let mut need_iter = needs_lookup.iter().copied().peekable();
+        lpas.iter()
+            .map(|&lpa| {
+                let hit = if need_iter.peek() == Some(&lpa) {
+                    need_iter.next();
+                    prefetched.next()
+                } else {
+                    None
+                };
+                self.service_read_inner(lpa, hit)
+            })
+            .collect()
+    }
+
+    fn service_read_inner(
+        &mut self,
+        lpa: Lpa,
+        prefetched: Option<(Option<MappingLookup>, MapCost)>,
+    ) -> Result<(Option<u64>, u64), SimError> {
         self.check_lpa(lpa)?;
         let started = self.clock.now_ns();
         self.stats.host_reads += 1;
 
         if let Some(content) = self.buffer.get(lpa) {
             self.stats.buffer_hits += 1;
-            self.clock.advance(DRAM_HIT_NS);
-            let elapsed = self.clock.now_ns() - started;
-            self.stats.read_latency.record(elapsed);
-            return Ok(Some(content));
+            self.stats.read_latency.record(DRAM_HIT_NS);
+            return Ok((Some(content), started + DRAM_HIT_NS));
         }
         if let Some(&content) = self.read_cache.get(&lpa) {
             self.stats.cache_hits += 1;
-            self.clock.advance(DRAM_HIT_NS);
-            let elapsed = self.clock.now_ns() - started;
-            self.stats.read_latency.record(elapsed);
-            return Ok(Some(content));
+            self.stats.read_latency.record(DRAM_HIT_NS);
+            return Ok((Some(content), started + DRAM_HIT_NS));
         }
 
-        let (hit, cost) = self.scheme.lookup(lpa);
-        self.charge_map_cost(lpa, cost);
+        let (hit, cost) = match prefetched {
+            Some(looked) => looked,
+            None => self.scheme.lookup(lpa),
+        };
+        let mut ready = self.charge_map_cost_at(lpa, cost, started);
         let Some(hit) = hit else {
             self.stats.unmapped_reads += 1;
-            let elapsed = self.clock.now_ns() - started;
-            self.stats.read_latency.record(elapsed);
-            return Ok(None);
+            self.stats.read_latency.record(ready - started);
+            return Ok((None, ready));
         };
-        self.charge_lookup_cpu(hit.levels_visited);
+        // Mapping-table CPU cost, serial within the request.
+        let cpu_ns = self.config.lookup_base_ns
+            + self.config.lookup_per_level_ns * hit.levels_visited.saturating_sub(1) as u64;
+        ready += cpu_ns;
+        self.stats.lookup_cpu_ns += cpu_ns;
         self.stats.lookups += 1;
         self.stats.record_lookup_levels(hit.levels_visited);
 
-        let (_, content, mispredicted) = self.resolve_read(lpa, &hit, true)?;
+        let (_, content, mispredicted, ready) = self.resolve_read_at(lpa, &hit, true, ready)?;
         if mispredicted {
             self.stats.mispredictions += 1;
         }
         let page_bytes = self.config.geometry.page_size as usize;
         self.read_cache.insert(lpa, content, page_bytes, false);
         self.enforce_cache_capacity();
-        let elapsed = self.clock.now_ns() - started;
-        self.stats.read_latency.record(elapsed);
-        Ok(Some(content))
+        self.stats.read_latency.record(ready - started);
+        Ok((Some(content), ready))
     }
 
     /// Resolves a (possibly approximate) prediction to the live page,
-    /// charging flash reads. Returns `(exact_ppa, content, mispredicted)`.
+    /// charging flash reads on the request's dependency chain starting
+    /// at `ready_ns`. Returns
+    /// `(exact_ppa, content, mispredicted, ready_ns)`.
     ///
     /// Correct-page criterion: the OOB reverse mapping matches *and* the
     /// PVT says the page is live — stale copies of the same LPA within
     /// the error window are rejected by the validity check.
-    fn resolve_read(
+    fn resolve_read_at(
         &mut self,
         lpa: Lpa,
         hit: &MappingLookup,
         host_read: bool,
-    ) -> Result<(Ppa, u64, bool), SimError> {
+        mut ready_ns: u64,
+    ) -> Result<(Ppa, u64, bool, u64), SimError> {
         let gamma = hit.error_bound as u64;
         let predicted = hit.ppa;
-        let charge_read = |ssd: &mut Self, ppa: Ppa, first: bool| {
-            let channel = ssd.config.geometry.channel_of(ppa);
-            ssd.clock.run_blocking(channel, ssd.config.timing.read_ns);
+        let charge_read = |ssd: &mut Self, ppa: Ppa, first: bool, ready_ns: u64| -> u64 {
+            let die = ssd.config.geometry.die_of(ppa);
+            let end = ssd
+                .clock
+                .schedule_after(die, ready_ns, ssd.config.timing.read_ns);
             if first && host_read {
                 ssd.stats.flash.data_reads += 1;
             } else {
                 ssd.stats.flash.misprediction_reads += 1;
             }
+            end
         };
 
         // First attempt: the predicted page.
         if self.config.geometry.contains(predicted) {
-            charge_read(self, predicted, true);
+            ready_ns = charge_read(self, predicted, true, ready_ns);
             if let Ok(view) = self.device.read(predicted) {
                 if view.lpa == Some(lpa) && self.validity.is_valid(predicted) {
-                    return Ok((predicted, view.content, false));
+                    return Ok((predicted, view.content, false, ready_ns));
                 }
                 // Misprediction: consult the OOB reverse-mapping window
                 // of the page we already read (§3.5) — one extra flash
@@ -308,10 +423,10 @@ impl<S: MappingScheme + Clone> Ssd<S> {
                     for delta in window.find(lpa) {
                         let candidate = Ppa::new((predicted.raw() as i64 + delta) as u64);
                         if self.validity.is_valid(candidate) {
-                            charge_read(self, candidate, false);
+                            ready_ns = charge_read(self, candidate, false, ready_ns);
                             let view = self.device.read(candidate)?;
                             debug_assert_eq!(view.lpa, Some(lpa));
-                            return Ok((candidate, view.content, true));
+                            return Ok((candidate, view.content, true, ready_ns));
                         }
                     }
                 }
@@ -332,10 +447,10 @@ impl<S: MappingScheme + Clone> Ssd<S> {
                 if !self.config.geometry.contains(candidate) || !self.validity.is_valid(candidate) {
                     continue;
                 }
-                charge_read(self, candidate, false);
+                ready_ns = charge_read(self, candidate, false, ready_ns);
                 if let Ok(view) = self.device.read(candidate) {
                     if view.lpa == Some(lpa) {
-                        return Ok((candidate, view.content, true));
+                        return Ok((candidate, view.content, true, ready_ns));
                     }
                 }
             }
@@ -343,16 +458,19 @@ impl<S: MappingScheme + Clone> Ssd<S> {
         Err(SimError::MappingCorruption { lpa, predicted })
     }
 
-    /// Resolves the exact current PPA of a mapped LPA for invalidation.
-    /// Exact predictions are free; approximate ones cost one flash read
-    /// (plus extras on misprediction).
+    /// Resolves the exact current PPA of a mapped LPA for invalidation,
+    /// blocking the clock (flush-path semantics). Exact predictions are
+    /// free; approximate ones cost one flash read (plus extras on
+    /// misprediction).
     fn resolve_for_invalidation(&mut self, lpa: Lpa, hit: &MappingLookup) -> Result<Ppa, SimError> {
         if !hit.approximate {
             debug_assert!(self.validity.is_valid(hit.ppa));
             return Ok(hit.ppa);
         }
         self.stats.lookups += 1;
-        let (ppa, _, mispredicted) = self.resolve_read(lpa, hit, false)?;
+        let floor = self.clock.now_ns();
+        let (ppa, _, mispredicted, ready) = self.resolve_read_at(lpa, hit, false, floor)?;
+        self.clock.wait_until(ready);
         if mispredicted {
             self.stats.mispredictions += 1;
         }
@@ -363,11 +481,24 @@ impl<S: MappingScheme + Clone> Ssd<S> {
     /// full buffer triggers a flush (allocation, programming, learning,
     /// and possibly GC / wear levelling).
     ///
+    /// Queue-depth-1 wrapper over [`Ssd::service_write`] — writes are
+    /// absorbed by serial controller DRAM, so the service path itself
+    /// advances the clock and the wrapper adds nothing.
+    ///
     /// # Errors
     ///
     /// * [`SimError::LpaOutOfRange`] — address beyond logical capacity.
     /// * [`SimError::DeviceFull`] — no reclaimable space left.
     pub fn write(&mut self, lpa: Lpa, content: u64) -> Result<(), SimError> {
+        self.service_write(lpa, content).map(|_| ())
+    }
+
+    /// Services one write, returning its completion time. The buffer
+    /// insert is a serial DRAM access (the clock advances); when it
+    /// fills the buffer the flush — and any stall on the previous
+    /// in-flight flush — is part of this request's latency, exactly as
+    /// in the blocking path.
+    pub(crate) fn service_write(&mut self, lpa: Lpa, content: u64) -> Result<u64, SimError> {
         self.check_lpa(lpa)?;
         let started = self.clock.now_ns();
         self.stats.host_writes += 1;
@@ -377,9 +508,9 @@ impl<S: MappingScheme + Clone> Ssd<S> {
         if self.buffer.len() >= self.config.write_buffer_pages {
             self.flush_buffer()?;
         }
-        let elapsed = self.clock.now_ns() - started;
-        self.stats.write_latency.record(elapsed);
-        Ok(())
+        let done = self.clock.now_ns();
+        self.stats.write_latency.record(done - started);
+        Ok(done)
     }
 
     /// Forces the write buffer to flash and waits for it to drain
@@ -407,8 +538,9 @@ impl<S: MappingScheme + Clone> Ssd<S> {
             .allocate(Stream::Host, pages.len() as u32)
             .expect("allocation ensured above");
 
-        // Program all pages asynchronously: the channels stay busy
+        // Program all pages asynchronously: the dies stay busy
         // (delaying subsequent reads) but the host continues.
+        let sorted = self.config.sort_buffer_on_flush;
         let mut deadline = self.clock.now_ns();
         let mut idx = 0usize;
         let mut batches: Vec<Vec<(Lpa, Ppa)>> = Vec::with_capacity(runs.len());
@@ -419,7 +551,7 @@ impl<S: MappingScheme + Clone> Ssd<S> {
                 idx += 1;
                 self.device.program(ppa, content, Some(lpa))?;
                 let end = self.clock.schedule(
-                    self.config.geometry.channel_of(ppa),
+                    self.config.geometry.die_of(ppa),
                     self.config.timing.program_ns,
                 );
                 deadline = deadline.max(end);
@@ -436,7 +568,7 @@ impl<S: MappingScheme + Clone> Ssd<S> {
             self.invalidate_via_lookup(batch)?;
         }
         for batch in &batches {
-            self.learn_and_mark(batch);
+            self.learn_and_mark(batch, sorted);
         }
 
         // Write-through: flushed pages stay readable from DRAM.
@@ -470,14 +602,20 @@ impl<S: MappingScheme + Clone> Ssd<S> {
     }
 
     /// Installs a batch's mappings and marks the new pages live.
-    /// Learning runs on the controller CPU alongside the asynchronous
-    /// flush, so it is accounted but does not block the host (§4.5:
-    /// 0.02% of the flash write latency).
-    fn learn_and_mark(&mut self, batch: &[(Lpa, Ppa)]) {
+    /// `sorted` batches (every sorted flush, GC migration and wear
+    /// swap) take the scheme's pre-sorted fast path. Learning runs on
+    /// the controller CPU alongside the asynchronous flush, so it is
+    /// accounted but does not block the host (§4.5: 0.02% of the flash
+    /// write latency).
+    fn learn_and_mark(&mut self, batch: &[(Lpa, Ppa)], sorted: bool) {
         if batch.is_empty() {
             return;
         }
-        let cost = self.scheme.update_batch(batch);
+        let cost = if sorted {
+            self.scheme.update_batch_sorted(batch)
+        } else {
+            self.scheme.update_batch(batch)
+        };
         self.charge_map_cost_background(batch[0].0, cost);
         let learn_ns = self.scheme.learn_cost_ns(batch.len());
         self.stats.learn_cpu_ns += learn_ns;
@@ -587,16 +725,15 @@ impl<S: MappingScheme + Clone> Ssd<S> {
     fn migrate_and_erase(&mut self, victim: BlockId) -> Result<(), SimError> {
         let valid = self.validity.valid_pages(victim);
         if !valid.is_empty() {
-            // Read the live pages (parallel across channels — a block
-            // maps to one channel, so this serialises there).
+            // Read the live pages (parallel across dies — a block maps
+            // to one die, so this serialises there).
             let mut deadline = self.clock.now_ns();
             let mut items: Vec<(Lpa, u64)> = Vec::with_capacity(valid.len());
             for &ppa in &valid {
                 let view = self.device.read(ppa)?;
-                let end = self.clock.schedule(
-                    self.config.geometry.channel_of(ppa),
-                    self.config.timing.read_ns,
-                );
+                let end = self
+                    .clock
+                    .schedule(self.config.geometry.die_of(ppa), self.config.timing.read_ns);
                 deadline = deadline.max(end);
                 self.stats.flash.gc_reads += 1;
                 let lpa = view.lpa.expect("data pages always carry a reverse mapping");
@@ -619,7 +756,7 @@ impl<S: MappingScheme + Clone> Ssd<S> {
                     idx += 1;
                     self.device.program(ppa, content, Some(lpa))?;
                     let end = self.clock.schedule(
-                        self.config.geometry.channel_of(ppa),
+                        self.config.geometry.die_of(ppa),
                         self.config.timing.program_ns,
                     );
                     deadline = deadline.max(end);
@@ -636,12 +773,12 @@ impl<S: MappingScheme + Clone> Ssd<S> {
                 self.validity.invalidate(ppa);
             }
             for batch in &batches {
-                self.learn_and_mark(batch);
+                self.learn_and_mark(batch, true);
             }
         }
 
         let end = self.clock.schedule(
-            self.config.geometry.channel_of_block_start(victim),
+            self.config.geometry.die_of_block(victim),
             self.config.timing.erase_ns,
         );
         self.clock.wait_until(end);
@@ -707,10 +844,9 @@ impl<S: MappingScheme + Clone> Ssd<S> {
         let mut deadline = self.clock.now_ns();
         for &ppa in &valid {
             let view = self.device.read(ppa)?;
-            let end = self.clock.schedule(
-                self.config.geometry.channel_of(ppa),
-                self.config.timing.read_ns,
-            );
+            let end = self
+                .clock
+                .schedule(self.config.geometry.die_of(ppa), self.config.timing.read_ns);
             deadline = deadline.max(end);
             self.stats.flash.gc_reads += 1;
             items.push((view.lpa.expect("data page"), view.content));
@@ -724,7 +860,7 @@ impl<S: MappingScheme + Clone> Ssd<S> {
             let ppa = self.config.geometry.ppa(hot, offset as u32);
             self.device.program(ppa, content, Some(lpa))?;
             let end = self.clock.schedule(
-                self.config.geometry.channel_of(ppa),
+                self.config.geometry.die_of(ppa),
                 self.config.timing.program_ns,
             );
             deadline = deadline.max(end);
@@ -736,10 +872,10 @@ impl<S: MappingScheme + Clone> Ssd<S> {
         for &ppa in &valid {
             self.validity.invalidate(ppa);
         }
-        self.learn_and_mark(&batch);
+        self.learn_and_mark(&batch, true);
 
         let end = self.clock.schedule(
-            self.config.geometry.channel_of_block_start(cold),
+            self.config.geometry.die_of_block(cold),
             self.config.timing.erase_ns,
         );
         self.clock.wait_until(end);
@@ -762,8 +898,8 @@ impl<S: MappingScheme + Clone> Ssd<S> {
         let bytes = self.scheme.snapshot_bytes() + bvc_bytes;
         let pages = bytes.div_ceil(self.config.geometry.page_size as usize);
         for i in 0..pages {
-            let channel = Channel::new((i % self.config.geometry.channels as usize) as u32);
-            self.clock.schedule(channel, self.config.timing.program_ns);
+            let die = Die::new((i % self.config.geometry.total_dies() as usize) as u32);
+            self.clock.schedule(die, self.config.timing.program_ns);
             self.stats.flash.translation_programs += 1;
         }
         let blocks = self.config.geometry.blocks;
@@ -829,18 +965,18 @@ impl<S: MappingScheme + Clone> Ssd<S> {
         self.validity = validity;
 
         // Collect the changed pages with their OOB reverse mappings and
-        // program sequence numbers (channel-parallel scan).
+        // program sequence numbers (die-parallel scan).
         let mut deadline = self.clock.now_ns();
         let mut entries: Vec<(u64, Lpa, Ppa)> = Vec::new();
         for &(block, first_page) in &scan_from {
-            let channel = self.config.geometry.channel_of_block_start(block);
+            let die = self.config.geometry.die_of_block(block);
             let scanned: Vec<(Ppa, Option<Lpa>, u64)> = self
                 .device
                 .scan_block(block)
                 .skip(first_page as usize)
                 .collect();
             for (ppa, lpa, seq) in scanned {
-                let end = self.clock.schedule(channel, self.config.timing.read_ns);
+                let end = self.clock.schedule(die, self.config.timing.read_ns);
                 deadline = deadline.max(end);
                 self.stats.flash.translation_reads += 1;
                 if let Some(lpa) = lpa {
@@ -880,8 +1016,14 @@ impl<S: MappingScheme + Clone> Ssd<S> {
                     // copy is gone).
                     if !hit.approximate {
                         self.validity.invalidate(hit.ppa);
-                    } else if let Ok((old, _, _)) = self.resolve_read(lpa, &hit, false) {
-                        self.validity.invalidate(old);
+                    } else {
+                        let floor = self.clock.now_ns();
+                        if let Ok((old, _, _, ready)) =
+                            self.resolve_read_at(lpa, &hit, false, floor)
+                        {
+                            self.clock.wait_until(ready);
+                            self.validity.invalidate(old);
+                        }
                     }
                 }
             }

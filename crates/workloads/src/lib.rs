@@ -24,12 +24,14 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod openloop;
 mod profile;
 mod suites;
 pub mod synthetic;
 pub mod trace_file;
 pub mod zipf;
 
+pub use openloop::{multi_tenant_trace, sequential_scanner, zipf_tenant, TenantSpec};
 pub use profile::{strided_ops, warmup_ops, ProfileParams, TraceGenerator};
 pub use suites::{
     app_suite, auctionmark, block_trace_suite, compflow, fiu_home, fiu_mail, full_suite, msr_hm,
