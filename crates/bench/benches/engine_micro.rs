@@ -1,12 +1,13 @@
-//! Submission/completion engine throughput at queue depth 1/8/32:
-//! how many page requests the queued engine can push through the
-//! software stack (no wall-clock flash latency — the virtual clock is
-//! free; this measures the engine + mapping-path CPU cost per request).
+//! Submission/completion throughput of the device front-end at queue
+//! depth 1/8/32: how many page requests the multi-queue device can
+//! push through the software stack (no wall-clock flash latency — the
+//! virtual clock is free; this measures the device + mapping-path CPU
+//! cost per request).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use leaftl_core::LeaFtlConfig;
 use leaftl_flash::Lpa;
-use leaftl_sim::{IoEngine, LeaFtlScheme, Ssd, SsdConfig};
+use leaftl_sim::{Device, DeviceConfig, LeaFtlScheme, Ssd, SsdConfig};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::hint::black_box;
@@ -42,13 +43,13 @@ fn bench_engine(c: &mut Criterion) {
             BenchmarkId::new("read_burst256", format!("qd{depth}")),
             |b| {
                 b.iter(|| {
-                    let mut engine = IoEngine::new(&mut ssd, depth);
+                    let mut device = Device::new(&mut ssd, DeviceConfig::single(depth));
                     for _ in 0..BURST {
                         let lpa = lpas[cursor % lpas.len()];
                         cursor += 1;
-                        engine.submit_read(black_box(lpa)).expect("submit");
+                        device.submit_read(black_box(lpa)).expect("submit");
                     }
-                    black_box(engine.drain().expect("drain"))
+                    black_box(device.drain().expect("drain"))
                 })
             },
         );

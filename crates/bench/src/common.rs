@@ -4,8 +4,8 @@
 use leaftl_baselines::{sftl_full_table_bytes, Dftl, Sftl};
 use leaftl_core::{LeaFtlConfig, TableStats};
 use leaftl_sim::{
-    replay, replay_open_loop, replay_queued, DramPolicy, HostOp, LeaFtlScheme, QueuedReplayReport,
-    ReplayReport, SimStats, Ssd, SsdConfig, TimedOp,
+    replay, replay_open_loop, replay_open_loop_with, replay_queued, DeviceConfig, DramPolicy,
+    HostOp, LeaFtlScheme, QueuedReplayReport, ReplayReport, SimStats, Ssd, SsdConfig, TimedOp,
 };
 use leaftl_workloads::{warmup_ops, ProfileParams};
 use serde::Serialize;
@@ -90,7 +90,8 @@ impl AnySsd {
         }
     }
 
-    /// Open-loop replay of a timestamped multi-stream trace.
+    /// Open-loop replay of a timestamped multi-stream trace
+    /// (one queue per stream, round-robin, synchronous GC).
     pub fn replay_open_loop<I: IntoIterator<Item = TimedOp>>(
         &mut self,
         ops: I,
@@ -100,6 +101,26 @@ impl AnySsd {
             AnySsd::Dftl(ssd) => replay_open_loop(ssd, ops, queue_depth).expect("replay_open_loop"),
             AnySsd::Sftl(ssd) => replay_open_loop(ssd, ops, queue_depth).expect("replay_open_loop"),
             AnySsd::Lea(ssd) => replay_open_loop(ssd, ops, queue_depth).expect("replay_open_loop"),
+        }
+    }
+
+    /// Open-loop replay under a full device shape — queue count,
+    /// arbitration policy and GC mode (the arbitration experiment).
+    pub fn replay_open_loop_with<I: IntoIterator<Item = TimedOp>>(
+        &mut self,
+        ops: I,
+        config: DeviceConfig,
+    ) -> QueuedReplayReport {
+        match self {
+            AnySsd::Dftl(ssd) => {
+                replay_open_loop_with(ssd, ops, config).expect("replay_open_loop_with")
+            }
+            AnySsd::Sftl(ssd) => {
+                replay_open_loop_with(ssd, ops, config).expect("replay_open_loop_with")
+            }
+            AnySsd::Lea(ssd) => {
+                replay_open_loop_with(ssd, ops, config).expect("replay_open_loop_with")
+            }
         }
     }
 

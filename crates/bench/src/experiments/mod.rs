@@ -2,6 +2,7 @@
 //! the ablations.
 
 mod ablation;
+mod arbitration;
 mod latency;
 mod memory;
 mod perf;
@@ -130,6 +131,11 @@ pub fn registry() -> Vec<Experiment> {
             name: "scalability",
             description: "Queue-depth sweep (IOPS, p99) + multi-tenant open-loop mix",
             run: scalability::scalability,
+        },
+        Experiment {
+            name: "arbitration",
+            description: "Multi-queue arbitration: RR vs weighted vs host-priority, background vs sync GC at QD 32",
+            run: arbitration::arbitration,
         },
         Experiment {
             name: "ablation_sort",

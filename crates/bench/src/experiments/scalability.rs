@@ -65,18 +65,24 @@ pub fn scalability(quick: bool) -> Value {
         };
 
         let mut depth_iops = Vec::new();
+        let mut depth_p50 = Vec::new();
         let mut depth_p99 = Vec::new();
+        let mut depth_p999 = Vec::new();
         let mut row = vec![kind.label()];
         row.push(format!("{:.0}", blocking));
         for &depth in &DEPTHS {
             let mut ssd = base.clone();
             let report = ssd.replay_queued(ops.clone(), depth);
             depth_iops.push(report.iops());
+            depth_p50.push(report.p50_latency_us());
             depth_p99.push(report.p99_latency_us());
+            depth_p999.push(report.p999_latency_us());
             row.push(format!(
-                "{:.0} ({:.0}µs)",
+                "{:.0} ({:.0}/{:.0}/{:.0}µs)",
                 report.iops(),
-                report.p99_latency_us()
+                report.p50_latency_us(),
+                report.p99_latency_us(),
+                report.p999_latency_us()
             ));
         }
         rows.push(row);
@@ -84,12 +90,14 @@ pub fn scalability(quick: bool) -> Value {
             "scheme": kind.label(),
             "queue_depths": DEPTHS,
             "iops": depth_iops,
+            "p50_latency_us": depth_p50,
             "p99_latency_us": depth_p99,
+            "p999_latency_us": depth_p999,
             "blocking_iops": blocking,
         }));
     }
     print_table(
-        "Scalability: IOPS (p99) vs queue depth, OLTP workload — IOPS must rise with QD; QD=1 ≈ blocking",
+        "Scalability: IOPS (p50/p99/p999) vs queue depth, OLTP workload — IOPS must rise with QD; QD=1 ≈ blocking",
         &["scheme", "blocking", "QD=1", "QD=4", "QD=8", "QD=32"],
         &rows,
     );
@@ -115,13 +123,17 @@ pub fn scalability(quick: bool) -> Value {
         let mut streams = Vec::new();
         for stream in &report.per_stream {
             let mean = stream.latency.mean_ns() / 1000.0;
+            let p50 = stream.latency.percentile_ns(50.0) as f64 / 1000.0;
             let p99 = stream.latency.percentile_ns(99.0) as f64 / 1000.0;
+            let p999 = stream.latency.percentile_ns(99.9) as f64 / 1000.0;
             row.push(format!("{mean:.0}µs/{p99:.0}µs"));
             streams.push(json!({
                 "stream": stream.stream,
                 "requests": stream.latency.count(),
                 "mean_latency_us": mean,
+                "p50_latency_us": p50,
                 "p99_latency_us": p99,
+                "p999_latency_us": p999,
             }));
         }
         rows.push(row);

@@ -1,13 +1,21 @@
-//! Flash-block allocation with channel striping.
+//! Flash-block allocation with die striping.
 //!
 //! Hands out runs of physically consecutive pages. Each stream (host
-//! flushes vs GC/wear migrations) keeps one open block *per channel*;
-//! a flush is striped over the channels in contiguous chunks so the
-//! programs proceed in parallel while each chunk still receives
-//! consecutive PPAs — LeaFTL's "allocate consecutive PPAs to contiguous
-//! LPAs at its best effort" (§3.3). Allocation order is recorded for
-//! crash recovery (§3.8): the scanner replays blocks in allocation
-//! order to rebuild mappings newest-last.
+//! flushes vs GC/wear migrations) keeps one open block per *way* —
+//! one way per die (LUN) on realistically sized devices — and a flush
+//! is striped over the ways in contiguous chunks so the programs
+//! proceed in parallel while each chunk still receives consecutive
+//! PPAs — LeaFTL's "allocate consecutive PPAs to contiguous LPAs at
+//! its best effort" (§3.3). Earlier revisions opened one block per
+//! *channel*, which left `dies_per_channel − 1` of every channel's
+//! dies idle during a flush; per-die striping lets a single flush
+//! program `dies_per_channel×` more pages concurrently. On tiny
+//! devices (few blocks per die — scaled-down experiments) the way
+//! count is capped at an eighth of the block count so that open
+//! blocks — invisible to GC victim selection — can never pin more
+//! than a quarter of the device across both streams. Allocation
+//! order is recorded for crash recovery (§3.8): the scanner replays
+//! blocks in allocation order to rebuild mappings newest-last.
 
 use leaftl_flash::{BlockId, FlashGeometry, Ppa};
 use serde::{Deserialize, Serialize};
@@ -46,12 +54,14 @@ struct OpenBlock {
     next_page: u32,
 }
 
-/// Free-block pools (per channel) plus per-stream, per-channel open
-/// blocks.
+/// Free-block pools (per way) plus per-stream, per-way open blocks.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct BlockAllocator {
     geometry: FlashGeometry,
-    /// Preferred chunk size when striping a request across channels.
+    /// Striping ways: `total_dies` on realistically sized devices,
+    /// capped at `blocks / 8` on tiny ones (see module docs).
+    ways: usize,
+    /// Preferred chunk size when striping a request across ways.
     /// Block-sized chunks (the paper's flush granularity) maximise
     /// learned-segment length; smaller chunks trade segment length for
     /// lower flush latency on small buffers.
@@ -59,7 +69,7 @@ pub struct BlockAllocator {
     free: Vec<VecDeque<BlockId>>,
     open_host: Vec<Option<OpenBlock>>,
     open_gc: Vec<Option<OpenBlock>>,
-    /// Next channel to stripe onto, per stream (round-robin).
+    /// Next way to stripe onto, per stream (round-robin).
     cursor_host: usize,
     cursor_gc: usize,
     /// Blocks in allocation order with a monotonically increasing
@@ -68,30 +78,45 @@ pub struct BlockAllocator {
 }
 
 impl BlockAllocator {
-    /// All blocks free, partitioned into per-channel pools;
-    /// block-granular striping.
+    /// All blocks free, partitioned into per-way pools; block-granular
+    /// striping.
     pub fn new(geometry: FlashGeometry) -> Self {
         BlockAllocator::with_stripe(geometry, geometry.pages_per_block)
     }
 
+    /// Striping width for a geometry: one way per die, capped so the
+    /// open blocks of both streams can pin at most a quarter of the
+    /// device.
+    fn ways_for(geometry: &FlashGeometry) -> usize {
+        (geometry.total_dies() as usize).min(((geometry.blocks / 8).max(1)) as usize)
+    }
+
+    /// The pool a block belongs to. Dies map onto ways by modulo, so
+    /// on full-size devices this is exactly the block's die.
+    fn way_of_block(&self, block: BlockId) -> usize {
+        self.geometry.die_of_block(block).raw() as usize % self.ways
+    }
+
     /// Like [`BlockAllocator::new`] with an explicit stripe chunk size.
     pub fn with_stripe(geometry: FlashGeometry, stripe_pages: u32) -> Self {
-        let channels = geometry.channels as usize;
-        let mut free = vec![VecDeque::new(); channels];
-        for raw in 0..geometry.blocks {
-            let block = BlockId::new(raw);
-            free[geometry.channel_of_block(block).raw() as usize].push_back(block);
-        }
-        BlockAllocator {
+        let ways = Self::ways_for(&geometry);
+        let mut allocator = BlockAllocator {
             geometry,
+            ways,
             stripe_pages: stripe_pages.clamp(1, geometry.pages_per_block),
-            free,
-            open_host: vec![None; channels],
-            open_gc: vec![None; channels],
+            free: vec![VecDeque::new(); ways],
+            open_host: vec![None; ways],
+            open_gc: vec![None; ways],
             cursor_host: 0,
             cursor_gc: 0,
             allocation_log: Vec::new(),
+        };
+        for raw in 0..geometry.blocks {
+            let block = BlockId::new(raw);
+            let way = allocator.way_of_block(block);
+            allocator.free[way].push_back(block);
         }
+        allocator
     }
 
     /// Number of fully free blocks (open blocks excluded).
@@ -104,11 +129,11 @@ impl BlockAllocator {
         self.free_blocks() as f64 / self.geometry.blocks as f64
     }
 
-    /// Returns a previously erased block to its channel's pool.
+    /// Returns a previously erased block to its way's pool.
     pub fn release(&mut self, block: BlockId) {
-        let channel = self.geometry.channel_of_block(block).raw() as usize;
-        debug_assert!(!self.free[channel].contains(&block));
-        self.free[channel].push_back(block);
+        let way = self.way_of_block(block);
+        debug_assert!(!self.free[way].contains(&block));
+        self.free[way].push_back(block);
     }
 
     /// Blocks allocated so far, oldest first (crash-recovery scan
@@ -159,9 +184,9 @@ impl BlockAllocator {
     /// Removes a specific block from the free pool (wear levelling
     /// targets a particular worn block). Returns whether it was free.
     pub fn take_block(&mut self, block: BlockId) -> bool {
-        let channel = self.geometry.channel_of_block(block).raw() as usize;
-        if let Some(pos) = self.free[channel].iter().position(|&b| b == block) {
-            self.free[channel].remove(pos);
+        let way = self.way_of_block(block);
+        if let Some(pos) = self.free[way].iter().position(|&b| b == block) {
+            self.free[way].remove(pos);
             self.allocation_log.push(block);
             true
         } else {
@@ -175,77 +200,76 @@ impl BlockAllocator {
     /// allocation log is preserved — it models the allocation sequence
     /// numbers real FTLs persist in page OOB.
     pub fn rebuild_after_crash(&mut self, free: Vec<BlockId>) {
-        let channels = self.geometry.channels as usize;
-        self.free = vec![VecDeque::new(); channels];
+        self.free = vec![VecDeque::new(); self.ways];
         for block in free {
-            let channel = self.geometry.channel_of_block(block).raw() as usize;
-            self.free[channel].push_back(block);
+            let way = self.way_of_block(block);
+            self.free[way].push_back(block);
         }
-        self.open_host = vec![None; channels];
-        self.open_gc = vec![None; channels];
+        self.open_host = vec![None; self.ways];
+        self.open_gc = vec![None; self.ways];
         self.cursor_host = 0;
         self.cursor_gc = 0;
     }
 
     /// Allocates `pages` as consecutive-page runs striped across the
-    /// channels, continuing each channel's open block and opening new
-    /// blocks as needed. Returns `None` (allocating nothing) when the
-    /// pools cannot satisfy the request — the caller must GC first.
+    /// ways, continuing each way's open block and opening new blocks
+    /// as needed. Returns `None` (allocating nothing) when the pools
+    /// cannot satisfy the request — the caller must GC first.
     pub fn allocate(&mut self, stream: Stream, pages: u32) -> Option<Vec<PageRun>> {
         if !self.can_allocate(stream, pages) {
             return None;
         }
-        let channels = self.geometry.channels as usize;
+        let ways = self.ways;
         let stripe = pages
-            .div_ceil(channels as u32)
+            .div_ceil(ways as u32)
             .max(self.stripe_pages)
             .min(self.geometry.pages_per_block);
         let mut runs: Vec<PageRun> = Vec::new();
         let mut remaining = pages;
-        let mut stalled_channels = 0usize;
+        let mut stalled_ways = 0usize;
         while remaining > 0 {
-            let channel = match stream {
+            let way = match stream {
                 Stream::Host => {
-                    let c = self.cursor_host;
-                    self.cursor_host = (self.cursor_host + 1) % channels;
-                    c
+                    let w = self.cursor_host;
+                    self.cursor_host = (self.cursor_host + 1) % ways;
+                    w
                 }
                 Stream::Gc => {
-                    let c = self.cursor_gc;
-                    self.cursor_gc = (self.cursor_gc + 1) % channels;
-                    c
+                    let w = self.cursor_gc;
+                    self.cursor_gc = (self.cursor_gc + 1) % ways;
+                    w
                 }
             };
-            let Some(run) = self.take_chunk(stream, channel, stripe.min(remaining)) else {
-                stalled_channels += 1;
-                // All channels dry would contradict `can_allocate`;
+            let Some(run) = self.take_chunk(stream, way, stripe.min(remaining)) else {
+                stalled_ways += 1;
+                // All ways dry would contradict `can_allocate`;
                 // guard against infinite spin regardless.
-                if stalled_channels > 2 * channels {
+                if stalled_ways > 2 * ways {
                     debug_assert!(false, "allocator spin despite capacity check");
                     return None;
                 }
                 continue;
             };
-            stalled_channels = 0;
+            stalled_ways = 0;
             remaining -= run.len;
             runs.push(run);
         }
         Some(runs)
     }
 
-    /// Takes up to `want` pages from one channel's open block, opening
-    /// a new block from that channel's pool when needed.
-    fn take_chunk(&mut self, stream: Stream, channel: usize, want: u32) -> Option<PageRun> {
+    /// Takes up to `want` pages from one way's open block, opening
+    /// a new block from that way's pool when needed.
+    fn take_chunk(&mut self, stream: Stream, way: usize, want: u32) -> Option<PageRun> {
         let open = match stream {
-            Stream::Host => &mut self.open_host[channel],
-            Stream::Gc => &mut self.open_gc[channel],
+            Stream::Host => &mut self.open_host[way],
+            Stream::Gc => &mut self.open_gc[way],
         };
         let needs_new = match open {
             Some(slot) => slot.next_page >= self.geometry.pages_per_block,
             None => true,
         };
         if needs_new {
-            let block = self.free[channel].pop_front()?;
+            let block = self.free[way].pop_front()?;
             self.allocation_log.push(block);
             *open = Some(OpenBlock {
                 block,
@@ -253,8 +277,8 @@ impl BlockAllocator {
             });
         }
         let slot = match stream {
-            Stream::Host => self.open_host[channel].as_mut(),
-            Stream::Gc => self.open_gc[channel].as_mut(),
+            Stream::Host => self.open_host[way].as_mut(),
+            Stream::Gc => self.open_gc[way].as_mut(),
         }
         .expect("open block just ensured");
         let room = self.geometry.pages_per_block - slot.next_page;
@@ -275,7 +299,8 @@ mod tests {
     use leaftl_flash::FlashGeometry;
 
     fn allocator() -> BlockAllocator {
-        BlockAllocator::new(FlashGeometry::small_test()) // 4 ch, 64 blocks x 32 pages
+        // 4 ch × 2 dies = 8 dies, 64 blocks x 32 pages
+        BlockAllocator::new(FlashGeometry::small_test())
     }
 
     #[test]
@@ -293,17 +318,21 @@ mod tests {
     }
 
     #[test]
-    fn large_requests_stripe_across_channels() {
+    fn large_requests_stripe_across_all_dies() {
         let geometry = FlashGeometry::small_test();
-        let mut a = BlockAllocator::with_stripe(geometry, 16);
+        let mut a = BlockAllocator::with_stripe(geometry, 8);
         let runs = a.allocate(Stream::Host, 64).unwrap();
-        let channels: std::collections::HashSet<u32> = runs
+        let dies: std::collections::HashSet<u32> = runs
             .iter()
-            .map(|r| geometry.channel_of_block(r.block).raw())
+            .map(|r| geometry.die_of_block(r.block).raw())
             .collect();
-        assert!(channels.len() >= 4, "64 pages should use all 4 channels");
+        assert!(
+            dies.len() >= 8,
+            "64 pages in 8-page stripes should use all 8 dies, got {}",
+            dies.len()
+        );
         for run in &runs {
-            assert!(run.len <= 16);
+            assert!(run.len <= 8);
         }
     }
 
@@ -314,8 +343,8 @@ mod tests {
         let second = a.allocate(Stream::Host, 8).unwrap();
         assert_eq!(first.len(), 1);
         assert_eq!(second.len(), 1);
-        // Round-robin over channels: the second chunk opens the next
-        // channel's block.
+        // Round-robin over dies: the second chunk opens the next
+        // die's block.
         assert_ne!(first[0].block, second[0].block);
     }
 
@@ -344,7 +373,7 @@ mod tests {
     #[test]
     fn release_recycles_blocks() {
         let mut a = allocator();
-        let runs = a.allocate(Stream::Host, 32 * 4).unwrap();
+        let runs = a.allocate(Stream::Host, 32 * 8).unwrap();
         let before = a.free_blocks();
         a.release(runs[0].block);
         assert_eq!(a.free_blocks(), before + 1);
@@ -389,5 +418,23 @@ mod tests {
         assert!(!a.can_allocate(Stream::Host, 9));
         let runs = a.allocate(Stream::Host, 8).unwrap();
         assert_eq!(runs.iter().map(|r| r.len).sum::<u32>(), 8);
+    }
+
+    #[test]
+    fn one_open_block_per_die_per_stream() {
+        let geometry = FlashGeometry::small_test();
+        let mut a = BlockAllocator::with_stripe(geometry, 1);
+        // A full device-width request in 1-page stripes opens one
+        // block on every die.
+        a.allocate(Stream::Host, geometry.total_dies()).unwrap();
+        assert_eq!(
+            a.open_blocks(Stream::Host).count(),
+            geometry.total_dies() as usize
+        );
+        let dies: std::collections::HashSet<u32> = a
+            .open_blocks(Stream::Host)
+            .map(|b| geometry.die_of_block(b).raw())
+            .collect();
+        assert_eq!(dies.len(), geometry.total_dies() as usize);
     }
 }

@@ -29,6 +29,25 @@ pub enum GcPolicy {
     CostBenefit,
 }
 
+/// When garbage collection runs relative to the host write path.
+///
+/// Historically GC ran synchronously inside the buffer flush, stalling
+/// the submitting write for entire migrate+erase passes. The
+/// multi-queue [`crate::Device`] can instead defer the work: victims
+/// are still selected at the low watermark, but their migration is
+/// emitted as background commands that compete for dies through the
+/// device's arbiter, and host writes block only when free blocks fall
+/// to [`SsdConfig::gc_hard_floor`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum GcMode {
+    /// Collect inside the flush path until the high watermark is
+    /// restored (the legacy blocking behaviour; the default).
+    Synchronous,
+    /// Only select victims at the watermark; migration runs as
+    /// background device traffic ([`crate::Command::GcMigrate`]).
+    Background,
+}
+
 /// Full configuration of a simulated SSD.
 ///
 /// Defaults mirror Table 1 of the paper: 2 TB capacity, 16 channels,
@@ -62,6 +81,15 @@ pub struct SsdConfig {
     pub gc_low_watermark: f64,
     /// GC keeps collecting until the free-block fraction reaches this.
     pub gc_high_watermark: f64,
+    /// Hard free-block floor for background GC ([`GcMode::Background`]):
+    /// host writes are back-pressured (stalled behind in-flight
+    /// migration erases) only when the settled free fraction falls to
+    /// this floor. `0.0` disables write back-pressure entirely — the
+    /// synchronous allocation-failure fallback still guards
+    /// correctness. The device clamps the floor to
+    /// [`SsdConfig::gc_low_watermark`], so configs that only lower the
+    /// watermarks keep working. Unused in [`GcMode::Synchronous`].
+    pub gc_hard_floor: f64,
     /// Wear levelling triggers when `max − min` block erase counts
     /// exceed this gap.
     pub wear_gap_threshold: u32,
@@ -99,6 +127,7 @@ impl SsdConfig {
             gc_policy: GcPolicy::Greedy,
             gc_low_watermark: 0.08,
             gc_high_watermark: 0.12,
+            gc_hard_floor: 0.02,
             wear_gap_threshold: 16,
             gamma: 0,
             compaction_interval_writes: 1_000_000,
@@ -134,6 +163,7 @@ impl SsdConfig {
         config.write_buffer_pages = 32; // one block
         config.gc_low_watermark = 0.10;
         config.gc_high_watermark = 0.15;
+        config.gc_hard_floor = 0.02;
         config
     }
 
@@ -173,6 +203,10 @@ impl SsdConfig {
         assert!(
             self.gc_low_watermark < self.gc_high_watermark,
             "gc watermarks inverted"
+        );
+        assert!(
+            (0.0..1.0).contains(&self.gc_hard_floor),
+            "gc hard floor out of range"
         );
         assert!(
             self.gc_high_watermark < self.op_ratio,

@@ -1,0 +1,1012 @@
+//! The NVMe-style multi-queue device front-end.
+//!
+//! [`Device`] replaces the single-FIFO engine of earlier revisions: it
+//! owns N host submission queues (one per tenant/stream) plus an
+//! internal queue of background GC migrations, and an [`Arbiter`]
+//! decides, command by command, which queue the controller serves
+//! next. Every operation — host reads and writes, buffer flushes, GC
+//! page migrations — is a [`Command`] flowing through the same per-die
+//! scheduler, so background work competes with host traffic for dies
+//! instead of stalling it.
+//!
+//! # Simulation model
+//!
+//! Commands are processed **in dispatch order**: state changes —
+//! buffer/caches, mapping table, flash programs, GC — happen at
+//! dispatch time, atomically per command. With a single queue and
+//! [`GcMode::Synchronous`], dispatch order is submission order and the
+//! device's final state is *identical at every queue depth* to the
+//! legacy blocking [`Ssd::read`]/[`Ssd::write`] path (the
+//! `engine_equivalence` proptests pin this; depth 1 is additionally
+//! cycle-exact). What queue depth, queue count, arbitration policy and
+//! GC mode change is *which command dispatches next* and *time*: flash
+//! work is chained on per-die timelines from each command's dispatch
+//! point, the global clock only advances when the host must wait, and
+//! completions retire out of order.
+//!
+//! # Background GC
+//!
+//! In [`GcMode::Background`] the flush path stops collecting at the
+//! watermark. Instead the device selects victims exactly where the
+//! synchronous collector would (free fraction below the low watermark,
+//! refilled to the high watermark) but queues them as
+//! [`Command::GcMigrate`] traffic that the arbiter schedules like any
+//! other queue. Host writes are back-pressured only at the hard floor
+//! ([`crate::SsdConfig::gc_hard_floor`]): a write or flush about to
+//! dispatch while the *settled* free fraction — reclaimed blocks whose
+//! erase has actually landed — sits below the floor stalls until
+//! enough in-flight erases complete, which is the only point where
+//! background GC blocks the host.
+//!
+//! # Example
+//!
+//! ```
+//! use leaftl_flash::Lpa;
+//! use leaftl_sim::{Device, DeviceConfig, ExactPageMap, IoRequest, Ssd, SsdConfig};
+//!
+//! # fn main() -> Result<(), leaftl_sim::SimError> {
+//! let mut ssd = Ssd::new(SsdConfig::small_test(), ExactPageMap::new());
+//! // Two tenant queues, eight outstanding commands, background GC.
+//! let mut device = Device::new(&mut ssd, DeviceConfig::new(2, 8).background_gc());
+//! for i in 0..64 {
+//!     device.submit_to(0, IoRequest::write(Lpa::new(i), i * 3))?;
+//!     device.submit_to(1, IoRequest::read(Lpa::new(i / 2)))?;
+//! }
+//! let completions = device.drain()?;
+//! assert_eq!(completions.len(), 128);
+//! # Ok(())
+//! # }
+//! ```
+
+use crate::arbiter::{Arbiter, ArbiterView, QueueView, RoundRobin, Source};
+use crate::config::GcMode;
+use crate::error::SimError;
+use crate::mapping::MappingScheme;
+use crate::request::{Command, IoCompletion, IoRequest};
+use crate::ssd::Ssd;
+use leaftl_flash::{BlockId, Lpa};
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashSet, VecDeque};
+
+/// Queue/stream id stamped on background-GC completions — migrations
+/// come from the device's internal queue, not any host submission
+/// queue.
+pub const GC_QUEUE: u32 = u32::MAX;
+
+/// Construction-time shape of a [`Device`]: queue count, outstanding
+/// host-command budget, GC scheduling mode and arbitration policy.
+#[derive(Debug)]
+pub struct DeviceConfig {
+    /// Host submission queues (≥ 1).
+    pub queues: usize,
+    /// Outstanding host commands across all queues (≥ 1; depth 1 with
+    /// one queue reproduces the blocking path cycle-exactly).
+    pub queue_depth: usize,
+    /// Whether GC runs synchronously in the flush path or as
+    /// arbitrated background traffic.
+    pub gc_mode: GcMode,
+    /// The arbitration policy.
+    pub arbiter: Box<dyn Arbiter>,
+}
+
+impl DeviceConfig {
+    /// `queues` submission queues at `queue_depth`, synchronous GC,
+    /// round-robin arbitration.
+    pub fn new(queues: usize, queue_depth: usize) -> Self {
+        DeviceConfig {
+            queues: queues.max(1),
+            queue_depth: queue_depth.max(1),
+            gc_mode: GcMode::Synchronous,
+            arbiter: Box::new(RoundRobin::new()),
+        }
+    }
+
+    /// The legacy-compatible shape: one queue, synchronous GC.
+    pub fn single(queue_depth: usize) -> Self {
+        DeviceConfig::new(1, queue_depth)
+    }
+
+    /// Switches GC to arbitrated background traffic.
+    pub fn background_gc(mut self) -> Self {
+        self.gc_mode = GcMode::Background;
+        self
+    }
+
+    /// Sets the GC scheduling mode.
+    pub fn with_gc_mode(mut self, mode: GcMode) -> Self {
+        self.gc_mode = mode;
+        self
+    }
+
+    /// Replaces the arbitration policy.
+    pub fn with_arbiter(mut self, arbiter: Box<dyn Arbiter>) -> Self {
+        self.arbiter = arbiter;
+        self
+    }
+}
+
+/// One host submission queue: FIFO pending commands plus the arrival
+/// clamp floor.
+#[derive(Debug, Default)]
+struct HostQueue {
+    pending: VecDeque<(u64, IoRequest)>,
+    /// Largest arrival accepted so far: per-queue submissions are FIFO,
+    /// so a later submission with an earlier timestamp is clamped up.
+    arrival_floor_ns: u64,
+}
+
+/// A selected-but-not-dispatched background migration.
+#[derive(Debug, Clone, Copy)]
+struct PendingMigration {
+    victim: BlockId,
+    /// Erase count at selection — a mismatch at dispatch means the
+    /// block was reclaimed (and possibly refilled) in the meantime.
+    selected_erase_count: u32,
+    /// Projected net reclaim in blocks: the victim frees one block but
+    /// its live pages consume GC-stream space, so a block with `v`
+    /// valid pages nets `(pages_per_block − v) / pages_per_block`.
+    net_blocks: f64,
+}
+
+/// The multi-queue device front-end over a borrowed [`Ssd`].
+///
+/// Dropping the device discards still-pending commands (and restores
+/// the SSD's synchronous GC mode); call [`Device::drain`] to run
+/// everything down first.
+#[derive(Debug)]
+pub struct Device<'a, S: MappingScheme + Clone> {
+    ssd: &'a mut Ssd<S>,
+    queues: Vec<HostQueue>,
+    queue_depth: usize,
+    arbiter: Box<dyn Arbiter>,
+    next_id: u64,
+    /// Pending background migrations (victims selected, not yet
+    /// dispatched), stamped with the victim's erase count at selection
+    /// (so a block reclaimed in the meantime no-ops at dispatch) and
+    /// its projected net reclaim in block fractions.
+    gc_pending: VecDeque<PendingMigration>,
+    /// Victims currently queued, for selection exclusion.
+    gc_queued: HashSet<BlockId>,
+    /// Sum of the pending migrations' net reclaim, in blocks — the
+    /// replenishment projection.
+    gc_pending_net_blocks: f64,
+    /// Flash-op stamp (`total_programs`, `erases`) of the last victim
+    /// scan that came up empty: the victim set can only change through
+    /// programs or erases, so an identical stamp skips the O(blocks)
+    /// rescan on every dispatch while the device is pinned below the
+    /// watermark with nothing collectible.
+    gc_scan_exhausted: Option<(u64, u64)>,
+    /// Scratch buffer for the per-dispatch arbiter view (reused to
+    /// avoid a per-command allocation).
+    view_scratch: Vec<QueueView>,
+    /// Completion times of dispatched host commands (min-heap); its
+    /// size is the outstanding host-command count.
+    inflight: BinaryHeap<Reverse<u64>>,
+    /// Completion times of dispatched GC migrations (timing only — GC
+    /// never counts against the host queue depth).
+    gc_inflight: BinaryHeap<Reverse<u64>>,
+    completed: Vec<IoCompletion>,
+    /// Latest completion deadline of any dispatched migration; host
+    /// commands dispatched before it carry the `gc_overlap` bit.
+    gc_busy_until: u64,
+    /// Migrations dispatched so far.
+    gc_dispatched: u64,
+    /// Virtual time host writes spent blocked at the hard floor.
+    gc_stall_ns: u64,
+}
+
+impl<'a, S: MappingScheme + Clone> Device<'a, S> {
+    /// Wraps an SSD in a multi-queue front-end. The SSD's GC mode is
+    /// set from the config for the device's lifetime and restored to
+    /// synchronous on drop.
+    pub fn new(ssd: &'a mut Ssd<S>, config: DeviceConfig) -> Self {
+        ssd.set_gc_mode(config.gc_mode);
+        let mut queues = Vec::with_capacity(config.queues);
+        queues.resize_with(config.queues, HostQueue::default);
+        Device {
+            ssd,
+            queues,
+            queue_depth: config.queue_depth,
+            arbiter: config.arbiter,
+            next_id: 0,
+            gc_pending: VecDeque::new(),
+            gc_queued: HashSet::new(),
+            gc_pending_net_blocks: 0.0,
+            gc_scan_exhausted: None,
+            view_scratch: Vec::new(),
+            inflight: BinaryHeap::new(),
+            gc_inflight: BinaryHeap::new(),
+            completed: Vec::new(),
+            gc_busy_until: 0,
+            gc_dispatched: 0,
+            gc_stall_ns: 0,
+        }
+    }
+
+    /// Number of host submission queues.
+    pub fn queue_count(&self) -> usize {
+        self.queues.len()
+    }
+
+    /// The outstanding host-command budget.
+    pub fn queue_depth(&self) -> usize {
+        self.queue_depth
+    }
+
+    /// Read access to the underlying SSD.
+    pub fn ssd(&self) -> &Ssd<S> {
+        self.ssd
+    }
+
+    /// Host commands currently dispatched and not yet retired.
+    pub fn in_flight(&self) -> usize {
+        self.inflight.len()
+    }
+
+    /// Background migrations dispatched so far.
+    pub fn gc_dispatched(&self) -> u64 {
+        self.gc_dispatched
+    }
+
+    /// Virtual nanoseconds host writes spent blocked at the hard floor
+    /// waiting for a forced migration.
+    pub fn gc_stall_ns(&self) -> u64 {
+        self.gc_stall_ns
+    }
+
+    /// Enqueues a host command on submission queue `queue`, returning
+    /// its device-assigned id. Dispatch happens once a full
+    /// queue-depth batch is pending across all queues (or on
+    /// [`Device::drain`]); deferring dispatch lets a burst of reads
+    /// share one mapping-table traversal.
+    ///
+    /// # Errors
+    ///
+    /// * [`SimError::UnknownQueue`] — no such submission queue.
+    /// * [`SimError::LpaOutOfRange`] — rejected at submission.
+    /// * Flush/GC-path errors (e.g. [`SimError::DeviceFull`]) surface
+    ///   when the batch is processed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the request carries a [`Command::GcMigrate`] — GC
+    /// migrations are internal device traffic, not host-submittable.
+    pub fn submit_to(&mut self, queue: usize, mut request: IoRequest) -> Result<u64, SimError> {
+        assert!(
+            !matches!(request.command, Command::GcMigrate { .. }),
+            "GC migrations are internal device traffic"
+        );
+        if queue >= self.queues.len() {
+            return Err(SimError::UnknownQueue(queue));
+        }
+        if let Some(lpa) = request.command.lpa() {
+            if lpa.raw() >= self.ssd.config().logical_pages() {
+                return Err(SimError::LpaOutOfRange(lpa));
+            }
+        }
+        let slot = &mut self.queues[queue];
+        request.arrival_ns = request.arrival_ns.max(slot.arrival_floor_ns);
+        slot.arrival_floor_ns = request.arrival_ns;
+        let id = self.next_id;
+        self.next_id += 1;
+        slot.pending.push_back((id, request));
+        if self.pending_total() >= self.queue_depth {
+            self.pump()?;
+        }
+        Ok(id)
+    }
+
+    /// Enqueues a host command on the queue named by its stream id
+    /// (`stream % queue_count` — the replay helpers' tenant→queue map).
+    pub fn submit(&mut self, request: IoRequest) -> Result<u64, SimError> {
+        let queue = request.stream as usize % self.queues.len();
+        self.submit_to(queue, request)
+    }
+
+    /// Convenience: submit an ASAP read on queue 0 / stream 0.
+    pub fn submit_read(&mut self, lpa: Lpa) -> Result<u64, SimError> {
+        self.submit_to(0, IoRequest::read(lpa))
+    }
+
+    /// Convenience: submit an ASAP write on queue 0 / stream 0.
+    pub fn submit_write(&mut self, lpa: Lpa, content: u64) -> Result<u64, SimError> {
+        self.submit_to(0, IoRequest::write(lpa, content))
+    }
+
+    /// Takes the completions retired so far, ordered by completion
+    /// time (ties by submission id).
+    pub fn take_completions(&mut self) -> Vec<IoCompletion> {
+        let mut done = std::mem::take(&mut self.completed);
+        done.sort_by_key(|c| (c.complete_ns, c.id));
+        done
+    }
+
+    /// Dispatches everything still pending — host commands through the
+    /// arbiter, queued migrations as trailing background work — waits
+    /// for every in-flight host command (advancing the clock to the
+    /// last completion), and returns all unretired completions ordered
+    /// by completion time. Background migrations appear as
+    /// [`Command::GcMigrate`] completions on the [`GC_QUEUE`];
+    /// trailing migrations keep their die reservations but the host
+    /// does not wait on them.
+    pub fn drain(&mut self) -> Result<Vec<IoCompletion>, SimError> {
+        self.pump()?;
+        while let Some(Reverse(complete_ns)) = self.inflight.pop() {
+            self.ssd.advance_to(complete_ns);
+        }
+        // Trailing migrations stay in `gc_inflight` — their erases
+        // have not landed, so post-drain submissions must still see
+        // them in the settled-free accounting (retire_due pops them as
+        // the clock catches up).
+        self.retire_due();
+        Ok(self.take_completions())
+    }
+
+    fn pending_total(&self) -> usize {
+        self.queues.iter().map(|q| q.pending.len()).sum()
+    }
+
+    /// Retires dispatched entries whose completion time has passed.
+    fn retire_due(&mut self) {
+        let now = self.ssd.now_ns();
+        while matches!(self.inflight.peek(), Some(&Reverse(c)) if c <= now) {
+            self.inflight.pop();
+        }
+        while matches!(self.gc_inflight.peek(), Some(&Reverse(c)) if c <= now) {
+            self.gc_inflight.pop();
+        }
+    }
+
+    /// Tops the background-GC queue up: below the low watermark,
+    /// victims are selected (exactly as the synchronous collector
+    /// would, minus already-queued ones) until the queued reclaims
+    /// project the free fraction back to the high watermark.
+    fn replenish_gc(&mut self) {
+        if self.ssd.gc_mode() != GcMode::Background {
+            return;
+        }
+        let geometry = self.ssd.config().geometry;
+        let blocks = geometry.blocks as f64;
+        let free = self.ssd.free_fraction();
+        let projected = |pending_net: f64| free + pending_net / blocks;
+        if projected(self.gc_pending_net_blocks) >= self.ssd.config().gc_low_watermark {
+            self.gc_scan_exhausted = None;
+            return;
+        }
+        let flash = &self.ssd.stats().flash;
+        let stamp = (flash.total_programs(), flash.erases);
+        if self.gc_scan_exhausted == Some(stamp) {
+            return;
+        }
+        while projected(self.gc_pending_net_blocks) < self.ssd.config().gc_high_watermark {
+            let Some(victim) = self.ssd.select_gc_victim(&self.gc_queued) else {
+                self.gc_scan_exhausted = Some(stamp);
+                return;
+            };
+            self.gc_queued.insert(victim);
+            // Project the *net* reclaim: the freed block minus the
+            // GC-stream pages its live data will consume. (Greedy
+            // victims always have at least one stale page, so the net
+            // is positive and the loop terminates.)
+            let valid = self.ssd.gc_valid_count(victim) as f64;
+            let net_blocks = ((geometry.pages_per_block as f64 - valid)
+                / geometry.pages_per_block as f64)
+                .max(1.0 / geometry.pages_per_block as f64);
+            self.gc_pending_net_blocks += net_blocks;
+            self.gc_pending.push_back(PendingMigration {
+                victim,
+                selected_erase_count: self.ssd.erase_count(victim),
+                net_blocks,
+            });
+        }
+        self.gc_scan_exhausted = None;
+    }
+
+    /// Dispatches the next queued migration as a
+    /// [`Command::GcMigrate`]; returns its completion deadline (or
+    /// `None` when the queue is empty). The migration retires as an
+    /// [`IoCompletion`] on the [`GC_QUEUE`], so replay reports and
+    /// tests can observe background traffic alongside host commands.
+    fn dispatch_gc(&mut self) -> Result<Option<u64>, SimError> {
+        let (victim, selected_erase_count) = loop {
+            let Some(pending) = self.gc_pending.pop_front() else {
+                return Ok(None);
+            };
+            self.gc_queued.remove(&pending.victim);
+            self.gc_pending_net_blocks = (self.gc_pending_net_blocks - pending.net_blocks).max(0.0);
+            // A changed erase count means the victim was reclaimed (by
+            // the emergency synchronous fallback) since selection —
+            // skip it silently rather than recording a no-op migration
+            // in gc_dispatched and the completion log.
+            if self.ssd.erase_count(pending.victim) == pending.selected_erase_count {
+                break (pending.victim, pending.selected_erase_count);
+            }
+        };
+        let command = Command::GcMigrate { victim };
+        let dispatch_ns = self.ssd.now_ns();
+        let deadline = self.ssd.service_gc_migrate(victim, selected_erase_count)?;
+        self.gc_inflight.push(Reverse(deadline));
+        self.gc_busy_until = self.gc_busy_until.max(deadline);
+        self.gc_dispatched += 1;
+        let id = self.next_id;
+        self.next_id += 1;
+        self.completed.push(IoCompletion {
+            id,
+            queue: GC_QUEUE,
+            stream: GC_QUEUE,
+            command,
+            data: None,
+            arrival_ns: dispatch_ns,
+            dispatch_ns,
+            complete_ns: deadline,
+            gc_overlap: false,
+        });
+        Ok(Some(deadline))
+    }
+
+    /// Free-block fraction counting only *settled* reclaims: a
+    /// dispatched migration applies its state instantly (the
+    /// simulation fiction), but physically its block is not writable
+    /// until the erase lands — so in-flight migrations are deducted.
+    fn settled_free_fraction(&self) -> f64 {
+        let blocks = self.ssd.config().geometry.blocks as f64;
+        self.ssd.free_fraction() - self.gc_inflight.len() as f64 / blocks
+    }
+
+    /// Hard-floor back-pressure: a block-consuming host command about
+    /// to dispatch while the settled free fraction sits below the
+    /// floor stalls until enough in-flight erases land (forcing more
+    /// migrations if none are in flight) — the only point where
+    /// background GC blocks the host.
+    fn enforce_hard_floor(&mut self) -> Result<(), SimError> {
+        // A floor above the low watermark makes no sense (the trigger
+        // line sits below the refill line); clamp rather than reject,
+        // so configs that only lower the watermarks keep working.
+        let floor = self
+            .ssd
+            .config()
+            .gc_hard_floor
+            .min(self.ssd.config().gc_low_watermark);
+        if floor <= 0.0 {
+            return Ok(());
+        }
+        while self.settled_free_fraction() < floor {
+            if let Some(Reverse(erase_done)) = self.gc_inflight.pop() {
+                // Wait for the earliest in-flight erase to land.
+                let stall_from = self.ssd.now_ns();
+                self.ssd.advance_to(erase_done);
+                self.gc_stall_ns += self.ssd.now_ns().saturating_sub(stall_from);
+                continue;
+            }
+            self.replenish_gc();
+            if self.dispatch_gc()?.is_none() {
+                // Nothing collectible: the flush path's emergency
+                // synchronous fallback is the last line of defence.
+                return Ok(());
+            }
+        }
+        Ok(())
+    }
+
+    /// Dispatches pending commands until every host queue is empty,
+    /// respecting arrivals, the queue depth, and the arbiter.
+    fn pump(&mut self) -> Result<(), SimError> {
+        loop {
+            self.retire_due();
+            self.replenish_gc();
+            let host_pending = self.pending_total();
+            if host_pending == 0 && self.gc_pending.is_empty() {
+                return Ok(());
+            }
+
+            let now = self.ssd.now_ns();
+            // Host commands are dispatchable when arrived and a depth
+            // slot is free; GC is always dispatchable. The view lives
+            // in a reused scratch buffer (one dispatch per iteration —
+            // no per-command allocation).
+            let host_blocked = self.inflight.len() >= self.queue_depth;
+            self.view_scratch.clear();
+            for q in &self.queues {
+                self.view_scratch.push(QueueView {
+                    pending: q.pending.len(),
+                    head_ready: !host_blocked
+                        && q.pending.front().is_some_and(|&(_, r)| r.arrival_ns <= now),
+                });
+            }
+            let ready_hosts = self.view_scratch.iter().filter(|q| q.head_ready).count();
+
+            if ready_hosts == 0 && self.gc_pending.is_empty() {
+                if host_blocked {
+                    // Queue full: the host blocks until the earliest
+                    // in-flight command completes.
+                    let Reverse(complete_ns) = self.inflight.pop().expect("non-empty");
+                    self.ssd.advance_to(complete_ns);
+                } else {
+                    // Everything pending arrives in the future.
+                    let earliest = self
+                        .queues
+                        .iter()
+                        .filter_map(|q| q.pending.front())
+                        .map(|&(_, r)| r.arrival_ns)
+                        .min()
+                        .expect("host_pending > 0");
+                    self.ssd.advance_to(earliest);
+                }
+                continue;
+            }
+
+            let view = ArbiterView {
+                host: &self.view_scratch,
+                gc_pending: self.gc_pending.len(),
+                free_fraction: self.ssd.free_fraction(),
+                now_ns: now,
+            };
+            let mut source = self.arbiter.pick(&view);
+            if !view.is_ready(source) {
+                // A buggy policy degrades to FIFO, never wedges.
+                source = view.ready_sources().next().expect("a source is ready");
+            }
+            // Read bursts are capped at the picked queue's fair share
+            // of the free depth, so batching (which amortises the
+            // mapping traversal) cannot turn per-command arbitration
+            // into whole-queue-depth bursts while other sources wait.
+            let ready_sources = ready_hosts + usize::from(!self.gc_pending.is_empty());
+            match source {
+                Source::Gc => {
+                    self.dispatch_gc()?;
+                }
+                Source::Host(queue) => self.dispatch_host(queue, ready_sources)?,
+            }
+        }
+    }
+
+    /// Dispatches the head command (or, for reads, the leading arrived
+    /// read burst, capped at this queue's fair share of the free depth
+    /// among `ready_sources` contenders) of host queue `queue`.
+    fn dispatch_host(&mut self, queue: usize, ready_sources: usize) -> Result<(), SimError> {
+        let head = self.queues[queue]
+            .pending
+            .front()
+            .expect("picked queue is non-empty")
+            .1
+            .command;
+        if self.ssd.gc_mode() == GcMode::Background && head.consumes_blocks() {
+            self.enforce_hard_floor()?;
+        }
+        let now = self.ssd.now_ns();
+        let free = self.queue_depth - self.inflight.len();
+        let burst = (free / ready_sources.max(1)).max(1);
+        match head {
+            Command::Read { .. } => {
+                // Batch the queue's leading run of already-arrived
+                // reads so the scheme amortises the group traversal.
+                let mut batch: Vec<(u64, IoRequest)> = Vec::new();
+                while batch.len() < burst {
+                    match self.queues[queue].pending.front() {
+                        Some(&(_, req))
+                            if matches!(req.command, Command::Read { .. })
+                                && req.arrival_ns <= now =>
+                        {
+                            batch.push(self.queues[queue].pending.pop_front().expect("non-empty"));
+                        }
+                        _ => break,
+                    }
+                }
+                let lpas: Vec<Lpa> = batch
+                    .iter()
+                    .map(|&(_, req)| req.command.lpa().expect("read has an lpa"))
+                    .collect();
+                let outcomes = self.ssd.service_read_batch(&lpas)?;
+                for ((id, req), (data, complete_ns)) in batch.into_iter().zip(outcomes) {
+                    self.finish(id, queue, req, data, now, complete_ns);
+                }
+            }
+            Command::Write { lpa, content } => {
+                let (id, req) = self.queues[queue].pending.pop_front().expect("non-empty");
+                let complete_ns = self.ssd.service_write(lpa, content)?;
+                self.finish(id, queue, req, None, now, complete_ns);
+            }
+            Command::Flush => {
+                let (id, req) = self.queues[queue].pending.pop_front().expect("non-empty");
+                let complete_ns = self.ssd.service_flush()?;
+                self.finish(id, queue, req, None, now, complete_ns);
+            }
+            Command::GcMigrate { .. } => unreachable!("rejected at submit"),
+        }
+        Ok(())
+    }
+
+    fn finish(
+        &mut self,
+        id: u64,
+        queue: usize,
+        req: IoRequest,
+        data: Option<u64>,
+        dispatch_ns: u64,
+        complete_ns: u64,
+    ) {
+        self.inflight.push(Reverse(complete_ns));
+        // Dispatch happens at max(arrival, scheduler turn), so
+        // dispatch_ns >= arrival_ns always holds here.
+        debug_assert!(dispatch_ns >= req.arrival_ns);
+        self.completed.push(IoCompletion {
+            id,
+            queue: queue as u32,
+            stream: req.stream,
+            command: req.command,
+            data,
+            arrival_ns: req.arrival_ns,
+            dispatch_ns,
+            complete_ns,
+            gc_overlap: dispatch_ns < self.gc_busy_until,
+        });
+    }
+}
+
+impl<S: MappingScheme + Clone> Drop for Device<'_, S> {
+    fn drop(&mut self) {
+        // The borrowed SSD outlives the device; hand it back with the
+        // blocking-path contract (synchronous GC) intact.
+        self.ssd.set_gc_mode(GcMode::Synchronous);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::arbiter::{HostPriority, Weighted};
+    use crate::config::SsdConfig;
+    use crate::mapping::ExactPageMap;
+    use leaftl_flash::Lpa;
+
+    fn ssd() -> Ssd<ExactPageMap> {
+        Ssd::new(SsdConfig::small_test(), ExactPageMap::new())
+    }
+
+    #[test]
+    fn qd1_matches_blocking_path_exactly() {
+        let mut blocking = ssd();
+        for i in 0..96u64 {
+            blocking.write(Lpa::new(i), i).unwrap();
+        }
+        for i in 0..96u64 {
+            assert_eq!(blocking.read(Lpa::new(i)).unwrap(), Some(i));
+        }
+        let blocking_ns = blocking.now_ns();
+
+        let mut queued = ssd();
+        {
+            let mut device = Device::new(&mut queued, DeviceConfig::single(1));
+            for i in 0..96u64 {
+                device.submit_write(Lpa::new(i), i).unwrap();
+            }
+            for i in 0..96u64 {
+                device.submit_read(Lpa::new(i)).unwrap();
+            }
+            let completions = device.drain().unwrap();
+            assert_eq!(completions.len(), 192);
+        }
+        assert_eq!(queued.now_ns(), blocking_ns);
+        assert_eq!(queued.stats().flash, blocking.stats().flash);
+    }
+
+    /// A config whose data cache is tiny, so reads actually hit flash.
+    fn flashy_ssd() -> Ssd<ExactPageMap> {
+        let mut config = SsdConfig::small_test();
+        config.dram_bytes = 64 * 1024;
+        Ssd::new(config, ExactPageMap::new())
+    }
+
+    #[test]
+    fn deeper_queues_overlap_reads() {
+        // Prefill flash-resident pages spread over many dies; the tiny
+        // data cache cannot hold them, so the spread below misses DRAM.
+        let mut shallow = flashy_ssd();
+        for i in 0..256u64 {
+            shallow.write(Lpa::new(i), i).unwrap();
+        }
+        shallow.flush().unwrap();
+        let mut deep = shallow.clone();
+        let spread: Vec<u64> = (0..64u64).map(|i| i * 4).collect();
+
+        let t0 = shallow.now_ns();
+        {
+            let mut device = Device::new(&mut shallow, DeviceConfig::single(1));
+            for &i in &spread {
+                device.submit_read(Lpa::new(i)).unwrap();
+            }
+            device.drain().unwrap();
+        }
+        let serial_ns = shallow.now_ns() - t0;
+
+        let t0 = deep.now_ns();
+        {
+            let mut device = Device::new(&mut deep, DeviceConfig::single(16));
+            for &i in &spread {
+                device.submit_read(Lpa::new(i)).unwrap();
+            }
+            device.drain().unwrap();
+        }
+        let overlapped_ns = deep.now_ns() - t0;
+        assert!(
+            overlapped_ns * 2 < serial_ns,
+            "QD=16 ({overlapped_ns} ns) must beat QD=1 ({serial_ns} ns) by 2x+"
+        );
+        // Same work happened either way.
+        assert_eq!(deep.stats().flash, shallow.stats().flash);
+    }
+
+    #[test]
+    fn completions_can_retire_out_of_order() {
+        let mut device_ssd = flashy_ssd();
+        for i in 0..256u64 {
+            device_ssd.write(Lpa::new(i), i).unwrap();
+        }
+        device_ssd.flush().unwrap();
+        // Park a few pages in the write buffer: DRAM-fast reads.
+        for i in 0..7u64 {
+            device_ssd.write(Lpa::new(200 + i), 999).unwrap();
+        }
+        let mut device = Device::new(&mut device_ssd, DeviceConfig::single(8));
+        // A flash miss (slow) submitted before the buffer hits (fast).
+        device.submit_read(Lpa::new(132)).unwrap();
+        for i in 0..7u64 {
+            device.submit_read(Lpa::new(200 + i)).unwrap();
+        }
+        let completions = device.drain().unwrap();
+        assert_eq!(completions.len(), 8);
+        assert!(
+            completions
+                .windows(2)
+                .all(|w| w[0].complete_ns <= w[1].complete_ns),
+            "completions sorted by completion time"
+        );
+        // The first-submitted request (flash read) retires last.
+        assert_eq!(completions.last().unwrap().id, 0);
+        assert!(completions[0].id > 0);
+    }
+
+    #[test]
+    fn arrival_timestamps_gate_dispatch() {
+        let mut device_ssd = ssd();
+        let mut device = Device::new(&mut device_ssd, DeviceConfig::single(4));
+        device
+            .submit_to(0, IoRequest::write(Lpa::new(1), 10).at(5_000_000))
+            .unwrap();
+        let completions = device.drain().unwrap();
+        assert_eq!(completions[0].dispatch_ns, 5_000_000);
+        assert!(completions[0].complete_ns >= 5_000_000);
+    }
+
+    #[test]
+    fn out_of_order_arrivals_clamp_up_per_queue() {
+        let mut device_ssd = ssd();
+        let mut device = Device::new(&mut device_ssd, DeviceConfig::single(4));
+        device
+            .submit_to(0, IoRequest::write(Lpa::new(1), 10).at(5_000_000))
+            .unwrap();
+        // Submitted later but stamped earlier: FIFO order wins and the
+        // timestamp is clamped up to the preceding arrival.
+        device
+            .submit_to(0, IoRequest::write(Lpa::new(2), 20).at(1_000_000))
+            .unwrap();
+        let mut completions = device.drain().unwrap();
+        completions.sort_by_key(|c| c.id);
+        assert_eq!(completions[0].arrival_ns, 5_000_000);
+        assert_eq!(completions[1].arrival_ns, 5_000_000);
+        assert!(completions[1].dispatch_ns >= completions[1].arrival_ns);
+    }
+
+    #[test]
+    fn out_of_range_and_unknown_queue_rejected_at_submit() {
+        let mut device_ssd = ssd();
+        let beyond = Lpa::new(device_ssd.config().logical_pages());
+        let mut device = Device::new(&mut device_ssd, DeviceConfig::new(2, 4));
+        assert_eq!(
+            device.submit_read(beyond),
+            Err(SimError::LpaOutOfRange(beyond))
+        );
+        assert_eq!(
+            device.submit_to(2, IoRequest::read(Lpa::new(0))),
+            Err(SimError::UnknownQueue(2))
+        );
+        assert!(device.drain().unwrap().is_empty());
+    }
+
+    #[test]
+    fn flush_command_drains_the_buffer() {
+        let mut device_ssd = ssd();
+        let mut device = Device::new(&mut device_ssd, DeviceConfig::single(4));
+        for i in 0..5u64 {
+            device.submit_write(Lpa::new(i), i + 1).unwrap();
+        }
+        device.submit_to(0, IoRequest::flush()).unwrap();
+        let completions = device.drain().unwrap();
+        assert_eq!(completions.len(), 6);
+        drop(device);
+        // The buffer was forced out: programs hit flash despite the
+        // buffer holding fewer pages than a full flush batch.
+        assert_eq!(device_ssd.stats().flash.data_programs, 5);
+    }
+
+    #[test]
+    fn round_robin_interleaves_two_tenant_queues() {
+        let mut device_ssd = flashy_ssd();
+        for i in 0..512u64 {
+            device_ssd.write(Lpa::new(i), i).unwrap();
+        }
+        device_ssd.flush().unwrap();
+        let mut device = Device::new(&mut device_ssd, DeviceConfig::new(2, 2));
+        for i in 0..8u64 {
+            device
+                .submit_to(0, IoRequest::read(Lpa::new(i * 4)).on_stream(0))
+                .unwrap();
+            device
+                .submit_to(1, IoRequest::read(Lpa::new(256 + i * 4)).on_stream(1))
+                .unwrap();
+        }
+        let completions = device.drain().unwrap();
+        assert_eq!(completions.len(), 16);
+        // Round-robin alternates queues: dispatch order (id order is
+        // submission order; dispatch_ns is nondecreasing per queue)
+        // serves both tenants rather than finishing one first.
+        let first_half: Vec<u32> = {
+            let mut by_dispatch = completions.clone();
+            by_dispatch.sort_by_key(|c| (c.dispatch_ns, c.id));
+            by_dispatch.iter().take(8).map(|c| c.queue).collect()
+        };
+        assert!(first_half.contains(&0) && first_half.contains(&1));
+    }
+
+    /// A small, heavily over-written device that forces GC.
+    fn gc_pressured() -> Ssd<ExactPageMap> {
+        let mut config = SsdConfig::small_test();
+        config.op_ratio = 0.5;
+        config.gc_low_watermark = 0.30;
+        config.gc_high_watermark = 0.40;
+        config.gc_hard_floor = 0.10;
+        Ssd::new(config, ExactPageMap::new())
+    }
+
+    #[test]
+    fn background_gc_collects_and_preserves_data() {
+        let mut device_ssd = gc_pressured();
+        let logical = device_ssd.config().logical_pages();
+        {
+            let mut device = Device::new(
+                &mut device_ssd,
+                DeviceConfig::single(8)
+                    .background_gc()
+                    .with_arbiter(Box::new(HostPriority::new())),
+            );
+            for round in 0..6u64 {
+                for i in 0..logical {
+                    device
+                        .submit_write(Lpa::new(i), round * 10_000 + i)
+                        .unwrap();
+                }
+            }
+            let completions = device.drain().unwrap();
+            assert!(device.gc_dispatched() > 0, "background GC must have run");
+            // Migrations surface as GcMigrate completions on the
+            // internal queue, one per dispatch.
+            let migrations = completions
+                .iter()
+                .filter(|c| c.kind() == crate::request::IoKind::GcMigrate)
+                .collect::<Vec<_>>();
+            assert_eq!(migrations.len() as u64, device.gc_dispatched());
+            assert!(migrations.iter().all(|c| c.queue == GC_QUEUE));
+        }
+        assert_eq!(device_ssd.gc_mode(), GcMode::Synchronous, "mode restored");
+        assert!(device_ssd.stats().gc_runs > 0);
+        for i in (0..logical).step_by(13) {
+            assert_eq!(
+                device_ssd.read(Lpa::new(i)).unwrap(),
+                Some(5 * 10_000 + i),
+                "lpa {i}"
+            );
+        }
+    }
+
+    #[test]
+    fn background_gc_mode_skips_watermark_gc_in_flush_path() {
+        // Same workload, synchronous vs background: the synchronous run
+        // collects inside the flush, the background run only when the
+        // device dispatches migrations — both end with the same live
+        // data.
+        let mut sync_ssd = gc_pressured();
+        let logical = sync_ssd.config().logical_pages();
+        for round in 0..6u64 {
+            for i in 0..logical {
+                sync_ssd.write(Lpa::new(i), round * 10_000 + i).unwrap();
+            }
+        }
+        assert!(sync_ssd.stats().gc_runs > 0);
+
+        let mut bg_ssd = gc_pressured();
+        {
+            let mut device = Device::new(&mut bg_ssd, DeviceConfig::single(1).background_gc());
+            for round in 0..6u64 {
+                for i in 0..logical {
+                    device
+                        .submit_write(Lpa::new(i), round * 10_000 + i)
+                        .unwrap();
+                }
+            }
+            device.drain().unwrap();
+        }
+        for i in 0..logical {
+            assert_eq!(
+                bg_ssd.read(Lpa::new(i)).unwrap(),
+                sync_ssd.read(Lpa::new(i)).unwrap(),
+                "lpa {i}"
+            );
+        }
+    }
+
+    #[test]
+    fn hard_floor_back_pressure_stalls_writes() {
+        // Floor at the low watermark and a deep queue: host-priority
+        // starves GC through each long write backlog, so the settled
+        // free fraction (erases actually landed) dips to the floor and
+        // writes must stall on in-flight erases.
+        let mut config = SsdConfig::small_test();
+        config.op_ratio = 0.5;
+        config.gc_low_watermark = 0.08;
+        config.gc_high_watermark = 0.12;
+        config.gc_hard_floor = 0.08;
+        let mut device_ssd = Ssd::new(config, ExactPageMap::new());
+        let logical = device_ssd.config().logical_pages();
+        let mut device = Device::new(
+            &mut device_ssd,
+            DeviceConfig::single(128)
+                .background_gc()
+                .with_arbiter(Box::new(HostPriority::new())),
+        );
+        for round in 0..8u64 {
+            for i in 0..logical {
+                device.submit_write(Lpa::new(i), round * 7 + i).unwrap();
+            }
+        }
+        device.drain().unwrap();
+        assert!(
+            device.gc_stall_ns() > 0,
+            "a write-saturated device must eventually hit the floor"
+        );
+    }
+
+    #[test]
+    fn weighted_arbitration_biases_queue_service() {
+        let mut device_ssd = flashy_ssd();
+        for i in 0..512u64 {
+            device_ssd.write(Lpa::new(i), i).unwrap();
+        }
+        device_ssd.flush().unwrap();
+        let mut device = Device::new(
+            &mut device_ssd,
+            // Submission-side depth high enough that both queues fill
+            // before any dispatch happens.
+            DeviceConfig::new(2, 64).with_arbiter(Box::new(Weighted::new(vec![3, 1], 1))),
+        );
+        for i in 0..12u64 {
+            device
+                .submit_to(0, IoRequest::read(Lpa::new(i * 8)).on_stream(0))
+                .unwrap();
+            device
+                .submit_to(1, IoRequest::read(Lpa::new(256 + i * 8)).on_stream(1))
+                .unwrap();
+        }
+        // Serve one command at a time so dispatch times expose the
+        // arbiter's pick order (in-module test: tighten the depth).
+        device.queue_depth = 1;
+        let completions = device.drain().unwrap();
+        let mut by_dispatch = completions;
+        by_dispatch.sort_by_key(|c| (c.dispatch_ns, c.id));
+        // In the first 8 dispatches the 3:1 queue gets ~3x the turns.
+        let head_q0 = by_dispatch.iter().take(8).filter(|c| c.queue == 0).count();
+        assert!(
+            head_q0 >= 5,
+            "weighted queue got only {head_q0}/8 early turns"
+        );
+    }
+}

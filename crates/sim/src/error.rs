@@ -22,6 +22,9 @@ pub enum SimError {
         /// The predicted PPA that failed to resolve.
         predicted: Ppa,
     },
+    /// A command was submitted to a submission queue the device does
+    /// not have.
+    UnknownQueue(usize),
 }
 
 impl fmt::Display for SimError {
@@ -36,6 +39,9 @@ impl fmt::Display for SimError {
                 f,
                 "mapping corruption: {lpa} predicted at {predicted} but not found within bound"
             ),
+            SimError::UnknownQueue(queue) => {
+                write!(f, "submission queue {queue} does not exist")
+            }
         }
     }
 }

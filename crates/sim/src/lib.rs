@@ -4,9 +4,12 @@
 //! of the WiscSim simulator the paper builds on (§3.9). It models:
 //!
 //! * a virtual nanosecond clock with per-die parallelism ([`clock`]),
-//! * a queued submission/completion I/O engine ([`IoEngine`]) with
-//!   configurable queue depth, out-of-order completion, and open-loop
-//!   multi-stream replay ([`replay_queued`], [`replay_open_loop`]),
+//! * an NVMe-style multi-queue device front-end ([`Device`]): N host
+//!   submission queues plus internal GC traffic, a pluggable
+//!   [`Arbiter`] (round-robin / weighted / host-priority), background
+//!   GC with hard-floor back-pressure ([`GcMode`]), out-of-order
+//!   completion, and open-loop multi-stream replay ([`replay_queued`],
+//!   [`replay_open_loop`]),
 //! * the controller DRAM split between mapping structures, write
 //!   buffer, and LRU data cache ([`SsdConfig`], [`DramPolicy`]),
 //! * the write path: buffering, LPA-sorted block-granular flushes
@@ -45,10 +48,11 @@
 #![warn(missing_docs)]
 
 pub mod allocator;
+pub mod arbiter;
 pub mod buffer;
 pub mod clock;
 mod config;
-mod engine;
+mod device;
 mod error;
 mod leaftl_scheme;
 pub mod lru;
@@ -59,15 +63,16 @@ mod ssd;
 mod stats;
 pub mod validity;
 
-pub use config::{DramPolicy, GcPolicy, SsdConfig};
-pub use engine::IoEngine;
+pub use arbiter::{Arbiter, ArbiterView, HostPriority, QueueView, RoundRobin, Source, Weighted};
+pub use config::{DramPolicy, GcMode, GcPolicy, SsdConfig};
+pub use device::{Device, DeviceConfig, GC_QUEUE};
 pub use error::SimError;
 pub use leaftl_scheme::LeaFtlScheme;
 pub use mapping::{ExactPageMap, MapCost, MappingLookup, MappingScheme};
 pub use replay::{
-    replay, replay_open_loop, replay_queued, HostOp, QueuedReplayReport, ReplayReport,
-    StreamLatency, TimedOp,
+    replay, replay_open_loop, replay_open_loop_with, replay_queued, replay_queued_with, HostOp,
+    QueuedReplayReport, ReplayReport, StreamLatency, TimedOp,
 };
-pub use request::{IoCompletion, IoKind, IoRequest};
+pub use request::{Command, IoCompletion, IoKind, IoRequest};
 pub use ssd::{RecoveryReport, Ssd};
 pub use stats::{FlashOpBreakdown, LatencyHistogram, SimStats};

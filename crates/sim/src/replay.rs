@@ -6,14 +6,21 @@
 //! * [`replay`] — the legacy closed-loop mode: one request in flight,
 //!   each completes before the next is issued (queue depth 1).
 //! * [`replay_queued`] — closed-loop at a configurable queue depth:
-//!   the host keeps `queue_depth` requests outstanding through the
-//!   [`crate::IoEngine`], so requests overlap across flash dies.
+//!   the host keeps `queue_depth` requests outstanding through a
+//!   single-queue [`crate::Device`], so requests overlap across flash
+//!   dies.
 //! * [`replay_open_loop`] — open-loop: [`TimedOp`]s carry arrival
-//!   timestamps and stream ids (multi-tenant traces); requests are
-//!   admitted at their trace time regardless of completions, which is
-//!   how real devices experience bursty, overlapping tenants.
+//!   timestamps and stream ids (multi-tenant traces); each stream
+//!   targets its own named submission queue, requests are admitted at
+//!   their trace time regardless of completions, and the device's
+//!   arbiter decides whose turn it is — how real multi-queue devices
+//!   experience bursty, overlapping tenants.
+//!
+//! The `_with` variants ([`replay_queued_with`],
+//! [`replay_open_loop_with`]) take a full [`DeviceConfig`], which is
+//! how experiments select arbitration policies and background GC.
 
-use crate::engine::IoEngine;
+use crate::device::{Device, DeviceConfig};
 use crate::error::SimError;
 use crate::mapping::MappingScheme;
 use crate::request::{IoKind, IoRequest};
@@ -175,14 +182,36 @@ pub struct TimedOp {
     pub op: HostOp,
 }
 
-/// Per-stream latency attribution of a queued replay.
+/// Per-stream (= per-submission-queue) latency attribution of a
+/// queued replay, including how much of the stream's traffic contended
+/// with in-flight background GC.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct StreamLatency {
-    /// Stream/tenant id.
+    /// Stream/tenant id (the submission queue it targeted).
     pub stream: u32,
     /// Submit→complete latency distribution of this stream's page
     /// requests.
     pub latency: LatencyHistogram,
+    /// Latency distribution of just the requests dispatched while a
+    /// background GC migration was still in flight — the per-queue
+    /// GC-interference attribution (empty under synchronous GC).
+    pub gc_overlap_latency: LatencyHistogram,
+}
+
+impl StreamLatency {
+    /// Requests of this stream that contended with background GC.
+    pub fn gc_overlap_requests(&self) -> u64 {
+        self.gc_overlap_latency.count()
+    }
+
+    /// Fraction of the stream's requests that contended with
+    /// background GC.
+    pub fn gc_overlap_fraction(&self) -> f64 {
+        if self.latency.count() == 0 {
+            return 0.0;
+        }
+        self.gc_overlap_latency.count() as f64 / self.latency.count() as f64
+    }
 }
 
 /// Summary of one queued (closed- or open-loop) replay.
@@ -205,6 +234,12 @@ pub struct QueuedReplayReport {
     pub request_latency: LatencyHistogram,
     /// Latency broken down per stream (one entry per distinct stream).
     pub per_stream: Vec<StreamLatency>,
+    /// Background GC migrations the device dispatched during the
+    /// replay (0 under synchronous GC).
+    pub gc_dispatched: u64,
+    /// Virtual time host writes spent blocked at the hard floor
+    /// waiting for forced migrations (0 under synchronous GC).
+    pub gc_stall_ns: u64,
     /// Statistics snapshot at the end of the replay.
     pub stats: SimStats,
 }
@@ -223,9 +258,19 @@ impl QueuedReplayReport {
         self.request_latency.mean_ns() / 1000.0
     }
 
+    /// Median submit→complete latency in microseconds.
+    pub fn p50_latency_us(&self) -> f64 {
+        self.request_latency.percentile_ns(50.0) as f64 / 1000.0
+    }
+
     /// 99th-percentile submit→complete latency in microseconds.
     pub fn p99_latency_us(&self) -> f64 {
         self.request_latency.percentile_ns(99.0) as f64 / 1000.0
+    }
+
+    /// 99.9th-percentile submit→complete latency in microseconds.
+    pub fn p999_latency_us(&self) -> f64 {
+        self.request_latency.percentile_ns(99.9) as f64 / 1000.0
     }
 }
 
@@ -261,31 +306,39 @@ fn expand_op(
     }
 }
 
-fn run_engine<S>(
+fn run_device<S>(
     ssd: &mut Ssd<S>,
     requests: Vec<IoRequest>,
     ops: u64,
-    queue_depth: usize,
+    config: DeviceConfig,
     open_loop: bool,
+    queue_of: impl Fn(u32) -> usize,
 ) -> Result<QueuedReplayReport, SimError>
 where
     S: MappingScheme + Clone,
 {
     let start_ns = ssd.now_ns();
+    let queue_depth = config.queue_depth;
     let mut pages_read = 0u64;
     let mut pages_written = 0u64;
     let mut request_latency = LatencyHistogram::new();
-    let mut per_stream: BTreeMap<u32, LatencyHistogram> = BTreeMap::new();
+    let mut per_stream: BTreeMap<u32, (LatencyHistogram, LatencyHistogram)> = BTreeMap::new();
     let mut last_complete = start_ns;
 
-    let mut engine = IoEngine::new(ssd, queue_depth);
-    for request in requests {
-        engine.submit(request)?;
-    }
-    for completion in engine.drain()? {
-        match completion.kind {
+    let (completions, gc_dispatched, gc_stall_ns) = {
+        let mut device = Device::new(ssd, config);
+        for request in requests {
+            let queue = queue_of(request.stream);
+            device.submit_to(queue, request)?;
+        }
+        let completions = device.drain()?;
+        (completions, device.gc_dispatched(), device.gc_stall_ns())
+    };
+    for completion in completions {
+        match completion.kind() {
             IoKind::Read => pages_read += 1,
             IoKind::Write => pages_written += 1,
+            IoKind::Flush | IoKind::GcMigrate => continue,
         }
         // Open-loop requests have real arrival times, so their latency
         // includes queueing delay; closed-loop requests are "issued"
@@ -295,11 +348,12 @@ where
         } else {
             completion.service_ns()
         };
+        let (all, overlapped) = per_stream.entry(completion.stream).or_default();
         request_latency.record(latency);
-        per_stream
-            .entry(completion.stream)
-            .or_default()
-            .record(latency);
+        all.record(latency);
+        if completion.gc_overlap {
+            overlapped.record(latency);
+        }
         last_complete = last_complete.max(completion.complete_ns);
     }
 
@@ -312,8 +366,14 @@ where
         request_latency,
         per_stream: per_stream
             .into_iter()
-            .map(|(stream, latency)| StreamLatency { stream, latency })
+            .map(|(stream, (latency, gc_overlap_latency))| StreamLatency {
+                stream,
+                latency,
+                gc_overlap_latency,
+            })
             .collect(),
+        gc_dispatched,
+        gc_stall_ns,
         stats: ssd.stats().clone(),
     })
 }
@@ -336,6 +396,28 @@ where
     S: MappingScheme + Clone,
     I: IntoIterator<Item = HostOp>,
 {
+    replay_queued_with(ssd, ops, DeviceConfig::single(queue_depth))
+}
+
+/// [`replay_queued`] with a full [`DeviceConfig`] — queue count,
+/// arbitration policy and GC mode. Closed-loop ops carry no stream
+/// ids, so they all target queue 0; the config matters for its depth,
+/// GC mode and (with background GC) arbitration against the internal
+/// GC queue.
+///
+/// # Errors
+///
+/// Propagates any [`SimError`] other than address range issues (which
+/// are avoided by clamping).
+pub fn replay_queued_with<S, I>(
+    ssd: &mut Ssd<S>,
+    ops: I,
+    config: DeviceConfig,
+) -> Result<QueuedReplayReport, SimError>
+where
+    S: MappingScheme + Clone,
+    I: IntoIterator<Item = HostOp>,
+{
     let logical = ssd.config().logical_pages();
     let mut write_seq = 0x5eed_0000_0000_0000u64;
     let mut requests = Vec::new();
@@ -344,17 +426,22 @@ where
         op_count += 1;
         expand_op(op, 0, 0, logical, &mut write_seq, &mut requests);
     }
-    run_engine(ssd, requests, op_count, queue_depth, false)
+    let queues = config.queues;
+    run_device(ssd, requests, op_count, config, false, move |stream| {
+        stream as usize % queues
+    })
 }
 
-/// Replays a timestamped multi-stream trace open-loop: each request is
-/// admitted at its trace arrival time (relative to the device clock at
-/// call time), regardless of how many are already outstanding — the
-/// submission queue is bounded by `queue_depth`, so a saturated device
-/// pushes queueing delay into the per-request latency rather than
-/// stalling the trace. Ops should be sorted by `at_ns`
-/// ([`crate::IoEngine`] clamps an out-of-order timestamp up to the
-/// newest arrival, since submission order is dispatch order).
+/// Replays a timestamped multi-stream trace open-loop: every distinct
+/// stream targets its own named submission queue (round-robin
+/// arbitration between them), each request is admitted at its trace
+/// arrival time (relative to the device clock at call time) regardless
+/// of how many are already outstanding, and at most `queue_depth`
+/// commands are dispatched concurrently — a saturated device pushes
+/// queueing delay into the per-request latency rather than stalling
+/// the trace. Ops should be sorted by `at_ns` within each stream (each
+/// queue is FIFO; the device clamps an out-of-order timestamp up to
+/// that queue's newest arrival).
 ///
 /// # Errors
 ///
@@ -364,6 +451,56 @@ pub fn replay_open_loop<S, I>(
     ssd: &mut Ssd<S>,
     ops: I,
     queue_depth: usize,
+) -> Result<QueuedReplayReport, SimError>
+where
+    S: MappingScheme + Clone,
+    I: IntoIterator<Item = TimedOp>,
+{
+    let ops: Vec<TimedOp> = ops.into_iter().collect();
+    // Dense stream→queue remap: tenant ids are arbitrary u32s, so one
+    // queue per *distinct* stream (not per id value) keeps sparse or
+    // large ids from allocating queues the trace never uses.
+    let queue_map: BTreeMap<u32, usize> = ops
+        .iter()
+        .map(|t| t.stream)
+        .collect::<std::collections::BTreeSet<u32>>()
+        .into_iter()
+        .enumerate()
+        .map(|(queue, stream)| (stream, queue))
+        .collect();
+    let config = DeviceConfig::new(queue_map.len().max(1), queue_depth);
+    open_loop_inner(ssd, ops, config, move |stream| {
+        queue_map.get(&stream).copied().unwrap_or(0)
+    })
+}
+
+/// [`replay_open_loop`] with a full [`DeviceConfig`] — this is how the
+/// arbitration experiments select weighted or host-priority policies
+/// and background GC. Streams map onto queues as
+/// `stream % config.queues`.
+///
+/// # Errors
+///
+/// Propagates any [`SimError`] other than address range issues (which
+/// are avoided by clamping).
+pub fn replay_open_loop_with<S, I>(
+    ssd: &mut Ssd<S>,
+    ops: I,
+    config: DeviceConfig,
+) -> Result<QueuedReplayReport, SimError>
+where
+    S: MappingScheme + Clone,
+    I: IntoIterator<Item = TimedOp>,
+{
+    let queues = config.queues;
+    open_loop_inner(ssd, ops, config, move |stream| stream as usize % queues)
+}
+
+fn open_loop_inner<S, I>(
+    ssd: &mut Ssd<S>,
+    ops: I,
+    config: DeviceConfig,
+    queue_of: impl Fn(u32) -> usize,
 ) -> Result<QueuedReplayReport, SimError>
 where
     S: MappingScheme + Clone,
@@ -385,7 +522,7 @@ where
             &mut requests,
         );
     }
-    run_engine(ssd, requests, op_count, queue_depth, true)
+    run_device(ssd, requests, op_count, config, true, queue_of)
 }
 
 #[cfg(test)]

@@ -4,13 +4,14 @@
 use crate::allocator::{BlockAllocator, Stream};
 use crate::buffer::WriteBuffer;
 use crate::clock::SimClock;
-use crate::config::{GcPolicy, SsdConfig};
+use crate::config::{GcMode, GcPolicy, SsdConfig};
 use crate::error::SimError;
 use crate::lru::LruCache;
 use crate::mapping::{MapCost, MappingLookup, MappingScheme};
 use crate::stats::SimStats;
 use crate::validity::Validity;
 use leaftl_flash::{BlockId, Die, FlashDevice, Lpa, Ppa};
+use std::collections::HashSet;
 
 /// DRAM access latency charged for buffer/cache hits (page transfer
 /// over the controller's internal bus).
@@ -48,11 +49,13 @@ pub struct RecoveryReport {
 ///
 /// Host I/O is page-granular. [`Ssd::read`] / [`Ssd::write`] are the
 /// blocking queue-depth-1 interface: each request completes (advancing
-/// the virtual clock) before the next is issued. Internally both are
-/// thin wrappers over non-blocking *service* paths that schedule flash
-/// work on per-die timelines and return a completion deadline — the
-/// [`crate::IoEngine`] drives those same paths with many requests in
-/// flight to model submission/completion queues.
+/// the virtual clock) before the next is issued, with GC running
+/// synchronously inside the flush path — the cycle-exact legacy
+/// contract. Internally both are thin wrappers over non-blocking
+/// *service* paths that schedule flash work on per-die timelines and
+/// return a completion deadline — the multi-queue [`crate::Device`]
+/// drives those same paths with many commands in flight to model
+/// submission/completion queues, arbitration and background GC.
 ///
 /// # Example
 ///
@@ -87,6 +90,9 @@ pub struct Ssd<S: MappingScheme + Clone> {
     /// Virtual time of each block's most recent program, for the
     /// cost-benefit GC policy's age term.
     block_last_write_ns: Vec<u64>,
+    /// Whether GC runs synchronously inside the flush path or is left
+    /// to the [`crate::Device`] as background traffic.
+    gc_mode: GcMode,
 }
 
 impl<S: MappingScheme + Clone> Ssd<S> {
@@ -114,8 +120,23 @@ impl<S: MappingScheme + Clone> Ssd<S> {
             scheme,
             flush_deadline_ns: 0,
             block_last_write_ns: vec![0; config.geometry.blocks as usize],
+            gc_mode: GcMode::Synchronous,
             config,
         }
+    }
+
+    /// The current GC scheduling mode.
+    pub fn gc_mode(&self) -> GcMode {
+        self.gc_mode
+    }
+
+    /// Switches GC scheduling between the synchronous flush-path pass
+    /// and background device traffic. In [`GcMode::Background`] the
+    /// flush path no longer collects at the watermark — something (the
+    /// [`crate::Device`]) must dispatch the migrations, or the device
+    /// degrades to emergency allocation-failure collection only.
+    pub fn set_gc_mode(&mut self, mode: GcMode) {
+        self.gc_mode = mode;
     }
 
     /// The device configuration.
@@ -516,9 +537,18 @@ impl<S: MappingScheme + Clone> Ssd<S> {
     /// Forces the write buffer to flash and waits for it to drain
     /// (host flush / fsync semantics).
     pub fn flush(&mut self) -> Result<(), SimError> {
-        self.flush_buffer()?;
-        self.clock.wait_until(self.flush_deadline_ns);
+        let deadline = self.service_flush()?;
+        self.clock.wait_until(deadline);
         Ok(())
+    }
+
+    /// Services a host flush command without blocking on the programs:
+    /// the buffer is flushed (state applied, dies scheduled) and the
+    /// drain deadline returned — the [`crate::Device`] completes the
+    /// command when that deadline passes.
+    pub(crate) fn service_flush(&mut self) -> Result<u64, SimError> {
+        self.flush_buffer()?;
+        Ok(self.flush_deadline_ns.max(self.clock.now_ns()))
     }
 
     fn flush_buffer(&mut self) -> Result<(), SimError> {
@@ -583,7 +613,12 @@ impl<S: MappingScheme + Clone> Ssd<S> {
         if compacted {
             self.stats.compactions += 1;
         }
-        self.maybe_gc()?;
+        // Background mode leaves watermark GC to the device front-end;
+        // wear levelling stays synchronous in both modes (rare, and its
+        // trigger is erase-count skew, not the write path).
+        if self.gc_mode == GcMode::Synchronous {
+            self.maybe_gc()?;
+        }
         self.maybe_wear_level()?;
         Ok(())
     }
@@ -625,12 +660,21 @@ impl<S: MappingScheme + Clone> Ssd<S> {
     }
 
     fn ensure_allocatable(&mut self, pages: u32, stream: Stream) -> Result<(), SimError> {
+        self.ensure_allocatable_excluding(pages, stream, &HashSet::new())
+    }
+
+    fn ensure_allocatable_excluding(
+        &mut self,
+        pages: u32,
+        stream: Stream,
+        exclude: &HashSet<BlockId>,
+    ) -> Result<(), SimError> {
         let mut guard = 0u64;
         loop {
             if self.allocator.can_allocate(stream, pages) {
                 return Ok(());
             }
-            if !self.collect_once()? {
+            if !self.collect_once_excluding(exclude)? {
                 return Err(SimError::DeviceFull);
             }
             guard += 1;
@@ -664,7 +708,13 @@ impl<S: MappingScheme + Clone> Ssd<S> {
     /// One GC pass: greedy min-valid victim, migrate, erase.
     /// Returns whether a block was reclaimed.
     fn collect_once(&mut self) -> Result<bool, SimError> {
-        let Some(victim) = self.pick_gc_victim() else {
+        self.collect_once_excluding(&HashSet::new())
+    }
+
+    /// [`Ssd::collect_once`] with victims to skip — the in-flight
+    /// background migration must never be re-collected mid-service.
+    fn collect_once_excluding(&mut self, exclude: &HashSet<BlockId>) -> Result<bool, SimError> {
+        let Some(victim) = self.select_gc_victim(exclude) else {
             return Ok(false);
         };
         self.stats.gc_runs += 1;
@@ -674,16 +724,22 @@ impl<S: MappingScheme + Clone> Ssd<S> {
         Ok(true)
     }
 
+    /// Current free-block fraction (the device's GC pressure signal).
+    pub(crate) fn free_fraction(&self) -> f64 {
+        self.allocator.free_fraction()
+    }
+
     /// Greedy victim selection: the closed block with the fewest valid
     /// pages (Algorithm: min-BVC, §3.6). Fully valid blocks reclaim
-    /// nothing and are skipped.
-    fn pick_gc_victim(&self) -> Option<BlockId> {
+    /// nothing and are skipped, as are `exclude`d blocks (migrations
+    /// already queued by the background-GC device front-end).
+    pub(crate) fn select_gc_victim(&self, exclude: &HashSet<BlockId>) -> Option<BlockId> {
         let mut best_greedy: Option<(u32, BlockId)> = None;
         let mut best_cb: Option<(f64, BlockId)> = None;
         let now = self.clock.now_ns();
         for raw in 0..self.config.geometry.blocks {
             let block = BlockId::new(raw);
-            if self.allocator.is_open(block) {
+            if self.allocator.is_open(block) || exclude.contains(&block) {
                 continue;
             }
             if self.device.block(block).is_erased() {
@@ -720,34 +776,77 @@ impl<S: MappingScheme + Clone> Ssd<S> {
         self.block_last_write_ns[block] = self.clock.now_ns();
     }
 
-    /// Migrates a block's valid pages (sorted by LPA, re-learned as new
-    /// segments, §3.6) and erases it.
-    fn migrate_and_erase(&mut self, victim: BlockId) -> Result<(), SimError> {
+    /// Sorts migrated pages by LPA, keeping only the freshest copy
+    /// (highest program sequence) of each. Duplicate valid copies of
+    /// one LPA can survive crash recovery's lenient invalidation
+    /// (§3.8), and the sorted learning path requires strictly
+    /// increasing LPAs; the stale duplicate is dropped — its old
+    /// location is invalidated with the rest of the victim.
+    fn dedup_migration_items(mut items: Vec<(Lpa, u64, u64)>) -> Vec<(Lpa, u64)> {
+        items.sort_by_key(|&(lpa, _, seq)| (lpa, seq));
+        let mut out: Vec<(Lpa, u64)> = Vec::with_capacity(items.len());
+        for (lpa, content, _) in items {
+            match out.last_mut() {
+                Some(last) if last.0 == lpa => last.1 = content,
+                _ => out.push((lpa, content)),
+            }
+        }
+        out
+    }
+
+    /// The shared GC migration core: reads a victim's live pages
+    /// (parallel across dies — a block maps to one die, so its reads
+    /// serialise there), sorts/dedups them, programs them to the GC
+    /// stream, re-learns the mappings (§3.6), invalidates the old
+    /// locations and erases the victim. Returns the erase's completion
+    /// time on the die timelines.
+    ///
+    /// State mutations are identical in both modes; only time differs.
+    /// `blocking` additionally advances the host clock to each phase
+    /// boundary (reads → programs → erase), the synchronous
+    /// collector's stall semantics; otherwise the phases are chained
+    /// with dependency floors and the global clock never moves —
+    /// concurrent host commands compete with the migration purely
+    /// through die occupancy.
+    fn migrate_block(&mut self, victim: BlockId, blocking: bool) -> Result<u64, SimError> {
         let valid = self.validity.valid_pages(victim);
+        let mut reads_done = self.clock.now_ns();
+        let mut programs_done = self.clock.now_ns();
         if !valid.is_empty() {
-            // Read the live pages (parallel across dies — a block maps
-            // to one die, so this serialises there).
-            let mut deadline = self.clock.now_ns();
-            let mut items: Vec<(Lpa, u64)> = Vec::with_capacity(valid.len());
+            let mut items: Vec<(Lpa, u64, u64)> = Vec::with_capacity(valid.len());
             for &ppa in &valid {
                 let view = self.device.read(ppa)?;
                 let end = self
                     .clock
                     .schedule(self.config.geometry.die_of(ppa), self.config.timing.read_ns);
-                deadline = deadline.max(end);
+                reads_done = reads_done.max(end);
                 self.stats.flash.gc_reads += 1;
                 let lpa = view.lpa.expect("data pages always carry a reverse mapping");
-                items.push((lpa, view.content));
+                items.push((lpa, view.content, view.seq));
             }
-            self.clock.wait_until(deadline);
-            items.sort_by_key(|&(lpa, _)| lpa);
+            if blocking {
+                self.clock.wait_until(reads_done);
+            }
+            let items = Self::dedup_migration_items(items);
 
+            if !blocking {
+                // Emergency fallback for the background path: if the GC
+                // stream itself cannot allocate, collect synchronously
+                // rather than failing — excluding this victim, whose
+                // pages are still marked valid and must not be migrated
+                // twice. The background scheduler normally keeps enough
+                // headroom for this to be unreachable. (The synchronous
+                // caller is already inside a collection loop, where
+                // recursing would be unsound; it fails over to
+                // `DeviceFull` instead.)
+                let exclude: HashSet<BlockId> = [victim].into_iter().collect();
+                self.ensure_allocatable_excluding(items.len() as u32, Stream::Gc, &exclude)?;
+            }
             let runs = self
                 .allocator
                 .allocate(Stream::Gc, items.len() as u32)
                 .ok_or(SimError::DeviceFull)?;
             let mut idx = 0usize;
-            let mut deadline = self.clock.now_ns();
             let mut batches: Vec<Vec<(Lpa, Ppa)>> = Vec::new();
             for run in &runs {
                 let mut batch = Vec::with_capacity(run.len as usize);
@@ -755,18 +854,21 @@ impl<S: MappingScheme + Clone> Ssd<S> {
                     let (lpa, content) = items[idx];
                     idx += 1;
                     self.device.program(ppa, content, Some(lpa))?;
-                    let end = self.clock.schedule(
+                    let end = self.clock.schedule_after(
                         self.config.geometry.die_of(ppa),
+                        reads_done,
                         self.config.timing.program_ns,
                     );
-                    deadline = deadline.max(end);
+                    programs_done = programs_done.max(end);
                     self.stats.flash.gc_programs += 1;
                     self.note_block_write(ppa);
                     batch.push((lpa, ppa));
                 }
                 batches.push(batch);
             }
-            self.clock.wait_until(deadline);
+            if blocking {
+                self.clock.wait_until(programs_done);
+            }
 
             // Old locations are known exactly — no lookup needed.
             for &ppa in &valid {
@@ -777,16 +879,67 @@ impl<S: MappingScheme + Clone> Ssd<S> {
             }
         }
 
-        let end = self.clock.schedule(
+        let done = self.clock.schedule_after(
             self.config.geometry.die_of_block(victim),
+            reads_done.max(programs_done),
             self.config.timing.erase_ns,
         );
-        self.clock.wait_until(end);
+        if blocking {
+            self.clock.wait_until(done);
+        }
         self.device.erase(victim)?;
         self.stats.flash.erases += 1;
         self.validity.clear_block(victim);
         self.allocator.release(victim);
-        Ok(())
+        Ok(done)
+    }
+
+    /// Migrates a block's valid pages and erases it, blocking the host
+    /// for the duration (the synchronous collector).
+    fn migrate_and_erase(&mut self, victim: BlockId) -> Result<(), SimError> {
+        self.migrate_block(victim, true).map(|_| ())
+    }
+
+    /// Services one background GC migration ([`crate::Command::GcMigrate`])
+    /// without blocking the host: state is applied immediately, flash
+    /// work is chained on per-die timelines, and the erase's completion
+    /// time is returned — the whole point of [`GcMode::Background`].
+    ///
+    /// `selected_erase_count` is the victim's erase count when it was
+    /// queued: a victim that was reclaimed in the meantime (emergency
+    /// synchronous GC under allocation failure) — even if since
+    /// reallocated, refilled with fresh live data and closed again —
+    /// completes immediately as a no-op instead of migrating data that
+    /// no longer needs to move.
+    pub(crate) fn service_gc_migrate(
+        &mut self,
+        victim: BlockId,
+        selected_erase_count: u32,
+    ) -> Result<u64, SimError> {
+        if self.device.block(victim).is_erased()
+            || self.device.block(victim).erase_count() != selected_erase_count
+            || self.allocator.is_open(victim)
+        {
+            return Ok(self.clock.now_ns());
+        }
+        self.stats.gc_runs += 1;
+        let done = self.migrate_block(victim, false)?;
+        // Persist mapping table + BVC at GC time (§3.8), as the
+        // synchronous pass does.
+        self.take_snapshot();
+        Ok(done)
+    }
+
+    /// A block's current erase count (the background GC queue stamps
+    /// victims with it to detect staleness at dispatch).
+    pub(crate) fn erase_count(&self, block: BlockId) -> u32 {
+        self.device.block(block).erase_count()
+    }
+
+    /// A block's current valid-page count (the background GC queue's
+    /// net-reclaim projection).
+    pub(crate) fn gc_valid_count(&self, block: BlockId) -> u32 {
+        self.validity.valid_count(block)
     }
 
     // ------------------------------------------------------------------
@@ -818,8 +971,12 @@ impl<S: MappingScheme + Clone> Ssd<S> {
                     hot_free = Some((erases, block));
                 }
             } else if !self.allocator.is_open(block)
+                && self.validity.valid_count(block) > 0
                 && (min.is_none() || erases < min.expect("checked").0)
             {
+                // Fully stale blocks are GC's job, not a wear swap's:
+                // "moving" them would program nothing and strand the
+                // worn free block outside every pool.
                 min = Some((erases, block));
             }
         }
@@ -840,7 +997,13 @@ impl<S: MappingScheme + Clone> Ssd<S> {
             return Ok(false);
         }
         let valid = self.validity.valid_pages(cold);
-        let mut items: Vec<(Lpa, u64)> = Vec::with_capacity(valid.len());
+        if valid.is_empty() {
+            // Raced to fully stale since selection: abort the swap and
+            // hand the worn block back rather than leaking it.
+            self.allocator.release(hot);
+            return Ok(false);
+        }
+        let mut items: Vec<(Lpa, u64, u64)> = Vec::with_capacity(valid.len());
         let mut deadline = self.clock.now_ns();
         for &ppa in &valid {
             let view = self.device.read(ppa)?;
@@ -849,10 +1012,10 @@ impl<S: MappingScheme + Clone> Ssd<S> {
                 .schedule(self.config.geometry.die_of(ppa), self.config.timing.read_ns);
             deadline = deadline.max(end);
             self.stats.flash.gc_reads += 1;
-            items.push((view.lpa.expect("data page"), view.content));
+            items.push((view.lpa.expect("data page"), view.content, view.seq));
         }
         self.clock.wait_until(deadline);
-        items.sort_by_key(|&(lpa, _)| lpa);
+        let items = Self::dedup_migration_items(items);
 
         let mut batch: Vec<(Lpa, Ppa)> = Vec::with_capacity(items.len());
         let mut deadline = self.clock.now_ns();

@@ -31,7 +31,9 @@ pub mod synthetic;
 pub mod trace_file;
 pub mod zipf;
 
-pub use openloop::{multi_tenant_trace, sequential_scanner, zipf_tenant, TenantSpec};
+pub use openloop::{
+    gc_heavy_writer, multi_tenant_trace, sequential_scanner, zipf_tenant, TenantSpec,
+};
 pub use profile::{strided_ops, warmup_ops, ProfileParams, TraceGenerator};
 pub use suites::{
     app_suite, auctionmark, block_trace_suite, compflow, fiu_home, fiu_mail, full_suite, msr_hm,

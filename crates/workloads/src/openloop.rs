@@ -12,6 +12,12 @@
 //! Zipf-skewed point-lookup tenant sharing the device with a sequential
 //! scanner — where the question is how one tenant's load shows up in
 //! the other's tail latency.
+//!
+//! Stream ids double as *submission-queue names*: the multi-queue
+//! device front-end (`leaftl_sim::Device`) routes each op to the queue
+//! `stream % queues`, so a trace built here exercises per-tenant
+//! queues under whatever arbitration policy the experiment configures
+//! (`leaftl_sim::replay_open_loop_with`).
 
 use crate::profile::ProfileParams;
 use leaftl_sim::TimedOp;
@@ -57,6 +63,22 @@ pub fn sequential_scanner() -> ProfileParams {
         mean_run_pages: 64,
         zipf_theta: 0.0,
         working_set: 0.8,
+    }
+}
+
+/// A write-heavy overwrite tenant: small skewed writes over a modest
+/// working set, the GC-pressure generator for arbitration studies —
+/// sustained overwrites keep the device at its collection watermark so
+/// host-vs-GC scheduling policy shows up in every tenant's tail.
+pub fn gc_heavy_writer() -> ProfileParams {
+    ProfileParams {
+        name: "gc-heavy-writer".to_string(),
+        read_ratio: 0.1,
+        seq_fraction: 0.1,
+        stride_fraction: 0.0,
+        mean_run_pages: 8,
+        zipf_theta: 0.9,
+        working_set: 0.6,
     }
 }
 

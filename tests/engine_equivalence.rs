@@ -1,21 +1,35 @@
-//! The queued-engine determinism/equivalence invariant: at *any* queue
-//! depth, the engine dispatches requests in submission order, so the
-//! device ends in exactly the state the legacy blocking replay
-//! produces — identical flash contents (per-page content, reverse
-//! mapping and program sequence), identical mapping state, identical
-//! flash-op counts, and identical read results. Queue depth may only
-//! change *when* things happen, never *what* happens.
+//! Device-front-end determinism/equivalence invariants.
+//!
+//! **Single queue + synchronous GC ≡ blocking path.** At *any* queue
+//! depth, a single-queue [`Device`] in [`GcMode::Synchronous`]
+//! dispatches commands in submission order, so the device ends in
+//! exactly the state the legacy blocking replay produces — identical
+//! flash contents (per-page content, reverse mapping and program
+//! sequence), identical mapping state, identical flash-op counts, and
+//! identical read results. Queue depth may only change *when* things
+//! happen, never *what* happens.
 //!
 //! The invariant is checked in both memory regimes: resident mapping
 //! tables (where read bursts hoist translations through
 //! `lookup_batch`) and constrained DRAM (demand-paged CMT/groups plus
-//! a tiny data cache, where the engine must translate each request at
+//! a tiny data cache, where the device must translate each request at
 //! its turn to preserve the blocking path's mutation order).
+//!
+//! **Background GC converges to the same live data.** With
+//! [`GcMode::Background`] the *timing and placement* of GC migrations
+//! changes (they become arbitrated device traffic), so physical state
+//! diverges from the blocking run — but GC only moves live pages, so
+//! the logical contents must not: after draining, every LPA reads the
+//! same value under background GC (any arbiter) as under the blocking
+//! synchronous path.
 
 use leaftl_repro::baselines::{Dftl, Sftl};
 use leaftl_repro::core::LeaFtlConfig;
 use leaftl_repro::flash::{BlockId, Lpa, Ppa};
-use leaftl_repro::sim::{IoEngine, IoKind, LeaFtlScheme, MappingScheme, Ssd, SsdConfig};
+use leaftl_repro::sim::{
+    Device, DeviceConfig, GcMode, HostPriority, IoKind, LeaFtlScheme, MappingScheme, RoundRobin,
+    Ssd, SsdConfig, Weighted,
+};
 use proptest::collection::vec;
 use proptest::prelude::*;
 
@@ -85,7 +99,8 @@ fn device_digest<S: MappingScheme + Clone>(
 }
 
 /// Runs the same action sequence through the blocking path and through
-/// the queued engine at `queue_depth`, asserting end-state equality.
+/// a single-queue synchronous-GC device at `queue_depth`, asserting
+/// end-state equality.
 fn check_equivalence<S, F>(
     build: F,
     actions: &[Action],
@@ -108,11 +123,12 @@ where
             Some((IoKind::Read, lpa, _)) => {
                 blocking_reads.push(blocking.read(Lpa::new(lpa)).expect("read"));
             }
+            Some((IoKind::Flush | IoKind::GcMigrate, ..)) => unreachable!("host ops only"),
             None => blocking.flush().expect("flush"),
         }
     }
 
-    // Queued run: same ops through the engine; Flush is a barrier
+    // Queued run: same ops through the device; Flush is a barrier
     // (drain, then a host flush), matching the blocking sequence.
     let mut queued = build();
     let mut queued_reads: Vec<Option<u64>> = Vec::new();
@@ -129,19 +145,20 @@ where
     segments.push(trailing);
     for (idx, segment) in segments.iter().enumerate() {
         {
-            let mut engine = IoEngine::new(&mut queued, queue_depth);
+            let mut device = Device::new(&mut queued, DeviceConfig::single(queue_depth));
             for &(kind, lpa, content) in segment {
                 match kind {
-                    IoKind::Write => engine.submit_write(Lpa::new(lpa), content).expect("write"),
-                    IoKind::Read => engine.submit_read(Lpa::new(lpa)).expect("read"),
+                    IoKind::Write => device.submit_write(Lpa::new(lpa), content).expect("write"),
+                    IoKind::Read => device.submit_read(Lpa::new(lpa)).expect("read"),
+                    IoKind::Flush | IoKind::GcMigrate => unreachable!("host ops only"),
                 };
             }
-            let mut completions = engine.drain().expect("drain");
+            let mut completions = device.drain().expect("drain");
             completions.sort_by_key(|c| c.id); // submission order
             queued_reads.extend(
                 completions
                     .iter()
-                    .filter(|c| c.kind == IoKind::Read)
+                    .filter(|c| c.kind() == IoKind::Read)
                     .map(|c| c.data),
             );
         }
@@ -175,6 +192,69 @@ where
     Ok(())
 }
 
+/// Runs the same action sequence blocking (synchronous GC) and through
+/// a single-queue *background-GC* device, asserting that both end with
+/// the same live data for every logical page. Physical placement, GC
+/// counts and timing legitimately diverge; user data must not.
+fn check_background_gc_convergence<S, F>(
+    build: F,
+    actions: &[Action],
+    queue_depth: usize,
+    arbiter: usize,
+) -> Result<(), TestCaseError>
+where
+    S: MappingScheme + Clone,
+    F: Fn() -> Ssd<S>,
+{
+    let mut blocking = build();
+    let logical = blocking.config().logical_pages();
+    let ops = page_ops(actions, logical);
+    for op in ops.iter().flatten() {
+        match *op {
+            (IoKind::Write, lpa, content) => {
+                blocking.write(Lpa::new(lpa), content).expect("write");
+            }
+            (IoKind::Read, lpa, _) => {
+                blocking.read(Lpa::new(lpa)).expect("read");
+            }
+            (IoKind::Flush | IoKind::GcMigrate, ..) => unreachable!("host ops only"),
+        }
+    }
+
+    let mut background = build();
+    {
+        let config = DeviceConfig::single(queue_depth)
+            .background_gc()
+            .with_arbiter(match arbiter {
+                0 => Box::new(RoundRobin::new()),
+                1 => Box::new(HostPriority::new()),
+                _ => Box::new(Weighted::new(vec![2], 1)),
+            });
+        let mut device = Device::new(&mut background, config);
+        for op in ops.iter().flatten() {
+            match *op {
+                (IoKind::Write, lpa, content) => {
+                    device.submit_write(Lpa::new(lpa), content).expect("write");
+                }
+                (IoKind::Read, lpa, _) => {
+                    device.submit_read(Lpa::new(lpa)).expect("read");
+                }
+                (IoKind::Flush | IoKind::GcMigrate, ..) => unreachable!("host ops only"),
+            }
+        }
+        device.drain().expect("drain");
+    }
+    prop_assert_eq!(background.gc_mode(), GcMode::Synchronous); // restored
+
+    // Same live-data set: every logical page reads identically.
+    for lpa in 0..logical {
+        let expected = blocking.read(Lpa::new(lpa)).expect("read");
+        let got = background.read(Lpa::new(lpa)).expect("read");
+        prop_assert_eq!(got, expected, "lpa {} diverged", lpa);
+    }
+    Ok(())
+}
+
 fn leaftl_resident(gamma: u32) -> Ssd<LeaFtlScheme> {
     let mut config = SsdConfig::small_test();
     config.gamma = gamma;
@@ -198,6 +278,18 @@ fn constrained_config() -> SsdConfig {
     config
 }
 
+/// A GC-pressured shape: little over-provisioning headroom relative to
+/// the watermarks, so the proptest workloads actually trigger
+/// collection in both modes.
+fn gc_pressured_config() -> SsdConfig {
+    let mut config = SsdConfig::small_test();
+    config.op_ratio = 0.5;
+    config.gc_low_watermark = 0.30;
+    config.gc_high_watermark = 0.40;
+    config.gc_hard_floor = 0.10;
+    config
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(10))]
 
@@ -217,7 +309,7 @@ proptest! {
     }
 
     /// Demand-paged LeaFTL (budget below the table footprint): the
-    /// engine must fall back to turn-order translation.
+    /// device must fall back to turn-order translation.
     #[test]
     fn leaftl_demand_paged_matches_blocking(
         actions in vec(action(), 1..60),
@@ -264,5 +356,114 @@ proptest! {
             &actions,
             queue_depth,
         )?;
+    }
+
+    /// Background-GC convergence, LeaFTL: arbitrated migrations move
+    /// pages at different times and places than the synchronous
+    /// collector, but the live-data set must match the blocking run.
+    #[test]
+    fn leaftl_background_gc_converges(
+        actions in vec(action(), 20..80),
+        queue_depth in 1usize..17,
+        gamma in 0u32..3,
+        arbiter in 0usize..3,
+    ) {
+        check_background_gc_convergence(
+            || {
+                let mut config = gc_pressured_config();
+                config.gamma = gamma;
+                let scheme = LeaFtlScheme::new(
+                    LeaFtlConfig::default()
+                        .with_gamma(gamma)
+                        .with_compaction_interval(300),
+                );
+                Ssd::new(config, scheme)
+            },
+            &actions,
+            queue_depth,
+            arbiter,
+        )?;
+    }
+
+    /// Background-GC convergence, DFTL.
+    #[test]
+    fn dftl_background_gc_converges(
+        actions in vec(action(), 20..60),
+        queue_depth in 1usize..17,
+        arbiter in 0usize..3,
+    ) {
+        check_background_gc_convergence(
+            || Ssd::new(gc_pressured_config(), Dftl::new()),
+            &actions,
+            queue_depth,
+            arbiter,
+        )?;
+    }
+
+    /// Background-GC convergence, SFTL.
+    #[test]
+    fn sftl_background_gc_converges(
+        actions in vec(action(), 20..60),
+        queue_depth in 1usize..17,
+        arbiter in 0usize..3,
+    ) {
+        check_background_gc_convergence(
+            || Ssd::new(gc_pressured_config(), Sftl::new()),
+            &actions,
+            queue_depth,
+            arbiter,
+        )?;
+    }
+}
+
+/// Deterministic heavy-overwrite cross-check: background GC must
+/// actually collect (not just converge trivially) and keep data
+/// intact under sustained pressure with every arbiter.
+#[test]
+fn background_gc_collects_under_heavy_overwrite() {
+    for arbiter in 0..3usize {
+        let mut blocking = Ssd::new(
+            gc_pressured_config(),
+            LeaFtlScheme::new(LeaFtlConfig::default()),
+        );
+        let logical = blocking.config().logical_pages();
+        for round in 0..6u64 {
+            for i in 0..logical {
+                blocking.write(Lpa::new(i), round * 100_000 + i).unwrap();
+            }
+        }
+        assert!(blocking.stats().gc_runs > 0, "sync GC must trigger");
+
+        let mut background = Ssd::new(
+            gc_pressured_config(),
+            LeaFtlScheme::new(LeaFtlConfig::default()),
+        );
+        {
+            let config = DeviceConfig::single(16)
+                .background_gc()
+                .with_arbiter(match arbiter {
+                    0 => Box::new(RoundRobin::new()),
+                    1 => Box::new(HostPriority::new()),
+                    _ => Box::new(Weighted::new(vec![2], 1)),
+                });
+            let mut device = Device::new(&mut background, config);
+            for round in 0..6u64 {
+                for i in 0..logical {
+                    device
+                        .submit_write(Lpa::new(i), round * 100_000 + i)
+                        .unwrap();
+                }
+            }
+            device.drain().unwrap();
+            assert!(device.gc_dispatched() > 0, "background GC must run");
+        }
+        assert!(background.stats().gc_runs > 0);
+        for i in 0..logical {
+            assert_eq!(
+                background.read(Lpa::new(i)).unwrap(),
+                Some(5 * 100_000 + i),
+                "arbiter {arbiter}, lpa {i}"
+            );
+        }
     }
 }
