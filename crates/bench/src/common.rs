@@ -332,14 +332,16 @@ pub fn run_workload(
     run_workload_with_config(kind, profile, scale, config)
 }
 
-/// Like [`run_workload`] but with a fully custom device config
-/// (sensitivity studies that vary page size, DRAM, etc.).
-pub fn run_workload_with_config(
+/// The shared measurement protocol: build → sequential prefill →
+/// profile warm-up → flush → stats reset. Every measured replay
+/// (closed-loop or queued) starts from a device warmed exactly this
+/// way, so the two harnesses stay comparable.
+fn warmed_ssd(
     kind: SchemeKind,
     profile: &ProfileParams,
     scale: &Scale,
     config: SsdConfig,
-) -> RunOutcome {
+) -> AnySsd {
     let logical = config.logical_pages();
     let mut ssd = AnySsd::build(kind, config);
     if scale.prefill > 0.0 {
@@ -350,6 +352,19 @@ pub fn run_workload_with_config(
     }
     ssd.flush();
     ssd.reset_stats();
+    ssd
+}
+
+/// Like [`run_workload`] but with a fully custom device config
+/// (sensitivity studies that vary page size, DRAM, etc.).
+pub fn run_workload_with_config(
+    kind: SchemeKind,
+    profile: &ProfileParams,
+    scale: &Scale,
+    config: SsdConfig,
+) -> RunOutcome {
+    let logical = config.logical_pages();
+    let mut ssd = warmed_ssd(kind, profile, scale, config);
     let report = ssd.replay(profile.generate(logical, scale.ops, SEED));
     let stats = ssd.stats().clone();
     RunOutcome {
@@ -365,6 +380,23 @@ pub fn run_workload_with_config(
         waf: stats.waf(),
         stats,
     }
+}
+
+/// Like [`run_workload`] but measured through the queued engine at
+/// `queue_depth` instead of the closed-loop blocking path — the
+/// concurrency-aware variant the engine-driven experiment migration
+/// baselines against (same prefill/warm-up/reset protocol).
+pub fn run_workload_queued(
+    kind: SchemeKind,
+    profile: &ProfileParams,
+    scale: &Scale,
+    policy: DramPolicy,
+    queue_depth: usize,
+) -> QueuedReplayReport {
+    let config = scale.config(policy);
+    let logical = config.logical_pages();
+    let mut ssd = warmed_ssd(kind, profile, scale, config);
+    ssd.replay_queued(profile.generate(logical, scale.ops, SEED), queue_depth)
 }
 
 /// Builds a mapping table by replaying only the workload's writes (the

@@ -9,6 +9,7 @@ mod perf;
 mod reliability;
 mod scalability;
 mod sensitivity;
+mod sharding;
 mod structure;
 mod tables;
 
@@ -136,6 +137,11 @@ pub fn registry() -> Vec<Experiment> {
             name: "arbitration",
             description: "Multi-queue arbitration: RR vs weighted vs host-priority, background vs sync GC at QD 32",
             run: arbitration::arbitration,
+        },
+        Experiment {
+            name: "sharding",
+            description: "Sharded translation service: shard count × QD sweep, batch-translation throughput, inline vs background compaction",
+            run: sharding::sharding,
         },
         Experiment {
             name: "ablation_sort",

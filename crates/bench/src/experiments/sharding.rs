@@ -1,0 +1,276 @@
+//! The sharded-translation-service evaluation: what partitioning the
+//! mapping table into N range shards buys once the flash path is
+//! concurrent, and what background compaction costs now that it is
+//! arbitrated device traffic instead of a free flush-path side effect.
+//!
+//! Three parts:
+//!
+//! 1. **Shard × QD sweep** (virtual time): LeaFTL γ=4 behind a
+//!    `ShardedMapping` at 1/2/4/8 shards, queue depth 1/8/32, with
+//!    background compaction enabled. Per-shard translation-CPU
+//!    timelines mean a compaction sweep stalls only its own shard's
+//!    lookups — the 1-shard device serialises every translation behind
+//!    each sweep, so p99 falls and IOPS rises as shards grow. QD=1 is
+//!    the no-concurrency cross-check (sharding buys little when one
+//!    command is in flight). Background compactions must be non-zero —
+//!    the sweep's cost is on the timeline, not hidden.
+//! 2. **Batch-translation throughput** (host wall-clock): the same
+//!    learned state translated through `lookup_batch` bursts; shards
+//!    are disjoint, so large bursts fan out onto one thread per shard.
+//!    This is the raw translation-service scaling number, independent
+//!    of flash timing.
+//! 3. **Inline vs background compaction** at 4 shards / QD=32: the
+//!    same workload with compaction as flush side effect vs as
+//!    arbitrated `Command::Compact` traffic, showing where the sweep's
+//!    latency lands in each regime.
+
+use crate::common::{print_table, Scale, SEED};
+use leaftl_core::{LeaFtlConfig, MappingScheme, ShardedMapping};
+use leaftl_flash::Lpa;
+use leaftl_sim::{
+    replay, replay_queued_with, DeviceConfig, DramPolicy, LeaFtlScheme, QueuedReplayReport, Ssd,
+    SsdConfig,
+};
+use leaftl_workloads::{oltp, warmup_ops};
+use serde_json::{json, Value};
+use std::time::Instant;
+
+const SHARD_COUNTS: [usize; 4] = [1, 2, 4, 8];
+const DEPTHS: [usize; 3] = [1, 8, 32];
+const GAMMA: u32 = 4;
+
+/// Compaction trigger used by every background run: compact a shard
+/// once lookups would walk this many levels.
+const LEVEL_THRESHOLD: u32 = 3;
+
+fn sharded_config(scale: &Scale) -> SsdConfig {
+    let mut config = scale.config(DramPolicy::DataFloor(0.2));
+    config.gamma = GAMMA;
+    config
+}
+
+/// Builds a warmed sharded device: sequential prefill + OLTP warm-up,
+/// stats reset.
+fn warmed(shards: usize, scale: &Scale) -> Ssd<ShardedMapping<LeaFtlScheme>> {
+    let config = sharded_config(scale);
+    let logical = config.logical_pages();
+    // Each shard counts only its own writes, so the inline interval is
+    // divided across shards to keep the device-wide compaction cadence
+    // comparable at every shard count.
+    let interval = (scale.compaction_interval / shards as u64).max(1);
+    let scheme = ShardedMapping::new(shards, logical, |_| {
+        LeaFtlScheme::new(
+            LeaFtlConfig::default()
+                .with_gamma(GAMMA)
+                .with_compaction_interval(interval),
+        )
+    });
+    let mut ssd = Ssd::new(config, scheme);
+    if scale.prefill > 0.0 {
+        replay(&mut ssd, warmup_ops(logical, scale.prefill)).expect("prefill");
+    }
+    if scale.warm_ops > 0 {
+        replay(
+            &mut ssd,
+            oltp().generate(logical, scale.warm_ops, SEED ^ 0xbeef),
+        )
+        .expect("warm");
+    }
+    ssd.flush().expect("flush");
+    ssd.reset_stats();
+    ssd
+}
+
+/// Segment threshold sized from the warmed table: enough headroom that
+/// steady-state growth re-crosses it repeatedly during measurement,
+/// low enough that every shard compacts several times.
+fn segment_threshold(ssd: &Ssd<ShardedMapping<LeaFtlScheme>>) -> usize {
+    let base = (0..ssd.shard_count())
+        .map(|s| ssd.shard_pressure(s).segments)
+        .max()
+        .unwrap_or(0);
+    (base + base / 8).max(64)
+}
+
+fn background_device(queue_depth: usize, segments: usize) -> DeviceConfig {
+    DeviceConfig::single(queue_depth)
+        .background_compaction()
+        .with_compaction_thresholds(LEVEL_THRESHOLD, segments)
+}
+
+/// Wall-clock batch-translation throughput of the warmed state, in
+/// million translations per second: `rounds` bursts of `burst`
+/// Zipf-skewed addresses through `lookup_batch` (large bursts fan out
+/// one thread per shard — the service's raw scaling number).
+fn translation_mtps(
+    scheme: &mut ShardedMapping<LeaFtlScheme>,
+    logical: u64,
+    burst: usize,
+    rounds: usize,
+) -> f64 {
+    // Deterministic skewed address stream (LCG + quadratic fold onto a
+    // hot region, cheap stand-in for Zipf).
+    let mut state = SEED;
+    let bursts: Vec<Vec<Lpa>> = (0..rounds)
+        .map(|_| {
+            (0..burst)
+                .map(|_| {
+                    state = state
+                        .wrapping_mul(6364136223846793005)
+                        .wrapping_add(1442695040888963407);
+                    let u = (state >> 11) as f64 / (1u64 << 53) as f64;
+                    Lpa::new(((u * u * logical as f64) as u64).min(logical - 1))
+                })
+                .collect()
+        })
+        .collect();
+    let started = Instant::now();
+    let mut hits = 0usize;
+    for lpas in &bursts {
+        hits += scheme
+            .lookup_batch(lpas)
+            .iter()
+            .filter(|(hit, _)| hit.is_some())
+            .count();
+    }
+    let elapsed = started.elapsed().as_secs_f64().max(1e-9);
+    assert!(hits > 0, "warmed state must resolve translations");
+    (burst * rounds) as f64 / elapsed / 1e6
+}
+
+/// The shard-count × queue-depth sweep plus the compaction-cost
+/// comparison.
+pub fn sharding(quick: bool) -> Value {
+    let scale = Scale::perf(quick);
+    let burst = 4096usize;
+    let rounds = if quick { 64 } else { 256 };
+    const COMPARE_SHARDS: usize = 4;
+    const COMPARE_DEPTH: usize = 32;
+
+    // One warmed device per shard count, cloned per measurement cell.
+    let mut rows = Vec::new();
+    let mut sweep_out = Vec::new();
+    let mut mtps_rows = Vec::new();
+    let mut mtps_out = Vec::new();
+    let mut inline_report: Option<QueuedReplayReport> = None;
+    let mut background_report: Option<QueuedReplayReport> = None;
+    for &shards in &SHARD_COUNTS {
+        let base = warmed(shards, &scale);
+        let logical = base.config().logical_pages();
+        let ops = oltp().generate(logical, scale.ops, SEED);
+        let threshold = segment_threshold(&base);
+
+        // ---- Part 1: shard × QD sweep (background compaction on) ----
+        let mut iops = Vec::new();
+        let mut p50 = Vec::new();
+        let mut p99 = Vec::new();
+        let mut compacts = Vec::new();
+        let mut row = vec![format!("{shards}")];
+        for &depth in &DEPTHS {
+            let mut ssd = base.clone();
+            let report =
+                replay_queued_with(&mut ssd, ops.clone(), background_device(depth, threshold))
+                    .expect("replay");
+            row.push(format!(
+                "{:.0} ({:.0}/{:.0}µs, {}c)",
+                report.iops(),
+                report.p50_latency_us(),
+                report.p99_latency_us(),
+                report.compact_dispatched
+            ));
+            iops.push(report.iops());
+            p50.push(report.p50_latency_us());
+            p99.push(report.p99_latency_us());
+            compacts.push(report.compact_dispatched);
+            if shards == COMPARE_SHARDS && depth == COMPARE_DEPTH {
+                background_report = Some(report);
+            }
+        }
+        rows.push(row);
+        sweep_out.push(json!({
+            "shards": shards,
+            "queue_depths": DEPTHS,
+            "iops": iops,
+            "p50_latency_us": p50,
+            "p99_latency_us": p99,
+            "compact_dispatched": compacts,
+        }));
+
+        // ---- Part 2: wall-clock batch-translation throughput --------
+        let mut scheme = base.scheme().clone();
+        let mtps = translation_mtps(&mut scheme, logical, burst, rounds);
+        mtps_rows.push(vec![format!("{shards}"), format!("{mtps:.2} M/s")]);
+        mtps_out.push(json!({ "shards": shards, "mtps": mtps }));
+
+        // ---- Part 3: the inline-compaction reference leg ------------
+        if shards == COMPARE_SHARDS {
+            let mut ssd = base.clone();
+            inline_report = Some(
+                replay_queued_with(&mut ssd, ops.clone(), DeviceConfig::single(COMPARE_DEPTH))
+                    .expect("replay"),
+            );
+        }
+    }
+    print_table(
+        "Sharding: IOPS (p50/p99, background compactions) vs shard count × QD, OLTP γ=4 — compaction stalls shrink as shards grow",
+        &["shards", "QD=1", "QD=8", "QD=32"],
+        &rows,
+    );
+    print_table(
+        &format!(
+            "Sharding: batch-translation throughput, {burst}-address bursts (host wall-clock; ≥2 shards fan out one thread per shard)"
+        ),
+        &["shards", "throughput"],
+        &mtps_rows,
+    );
+
+    let inline_report = inline_report.expect("4-shard leg ran");
+    let background_report = background_report.expect("4-shard QD=32 cell ran");
+    let (shards, depth) = (COMPARE_SHARDS, COMPARE_DEPTH);
+    print_table(
+        "Sharding: compaction as flush side effect (inline) vs arbitrated background traffic, 4 shards, QD=32",
+        &["mode", "IOPS", "p50", "p99", "compactions"],
+        &[
+            vec![
+                "inline".into(),
+                format!("{:.0}", inline_report.iops()),
+                format!("{:.0}µs", inline_report.p50_latency_us()),
+                format!("{:.0}µs", inline_report.p99_latency_us()),
+                format!("{} (flush-path)", inline_report.stats.compactions),
+            ],
+            vec![
+                "background".into(),
+                format!("{:.0}", background_report.iops()),
+                format!("{:.0}µs", background_report.p50_latency_us()),
+                format!("{:.0}µs", background_report.p99_latency_us()),
+                format!("{} (arbitrated)", background_report.compact_dispatched),
+            ],
+        ],
+    );
+
+    json!({
+        "experiment": "sharding",
+        "qd_sweep": sweep_out,
+        "translation": {
+            "burst": burst,
+            "rounds": rounds,
+            "series": mtps_out,
+        },
+        "compaction": {
+            "shards": shards,
+            "queue_depth": depth,
+            "inline": {
+                "iops": inline_report.iops(),
+                "p50_latency_us": inline_report.p50_latency_us(),
+                "p99_latency_us": inline_report.p99_latency_us(),
+                "compactions": inline_report.stats.compactions,
+            },
+            "background": {
+                "iops": background_report.iops(),
+                "p50_latency_us": background_report.p50_latency_us(),
+                "p99_latency_us": background_report.p99_latency_us(),
+                "compact_dispatched": background_report.compact_dispatched,
+            },
+        },
+    })
+}

@@ -47,6 +47,13 @@
 //! assert!(err <= hit.error_bound as u64);
 //! ```
 //!
+//! Beyond the paper's table, this crate also hosts the *translation
+//! service* layer: the [`MappingScheme`] trait every FTL implements
+//! ([`scheme`]) and the range-sharded [`ShardedMapping`] composition
+//! ([`shards`]) that partitions the LPA space into independent shards
+//! so a concurrent device front-end can translate bursts in parallel
+//! and compact shards in the background.
+//!
 //! The companion crates `leaftl-sim` (SSD simulator), `leaftl-baselines`
 //! (DFTL/SFTL) and `leaftl-bench` (paper experiments) build on this one.
 
@@ -59,7 +66,9 @@ pub mod f16;
 pub mod group;
 pub mod level;
 pub mod plr;
+pub mod scheme;
 pub mod segment;
+pub mod shards;
 mod stats;
 mod table;
 mod validate;
@@ -69,7 +78,9 @@ pub use crb::{Crb, CrbPatch};
 pub use group::{Group, GroupLookup};
 pub use level::Level;
 pub use plr::LearnedPiece;
+pub use scheme::{ExactPageMap, MapCost, MappingLookup, MappingScheme, ShardPressure};
 pub use segment::Segment;
+pub use shards::ShardedMapping;
 pub use stats::{percentile, MemoryBreakdown, TableStats};
 pub use table::{LeaFtlTable, LookupResult};
 pub use validate::InvariantViolation;

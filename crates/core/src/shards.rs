@@ -1,0 +1,378 @@
+//! Sharded translation service: the LPA space partitioned into N
+//! independent range shards, each a complete mapping scheme of its own.
+//!
+//! The monolithic table keeps every 256-LPA group behind one `&mut`, so
+//! a queued device that dispatches read bursts in parallel across flash
+//! dies still *translates* them serially. [`ShardedMapping`] removes
+//! that bottleneck structurally: each shard owns a contiguous LPA range
+//! (aligned to group boundaries, so a group never straddles shards) and
+//! carries its own group map, CRB and — for demand-paged schemes — LRU
+//! residency state. Bursts fan out per shard ([`MappingScheme::lookup_batch`]),
+//! sorted flush batches split at shard boundaries
+//! ([`MappingScheme::update_batch_sorted`]), and compaction runs
+//! per shard, which is what lets the device front-end schedule it as
+//! background traffic instead of a stop-the-world flush side effect.
+//!
+//! # Equivalence
+//!
+//! Because shard boundaries are group-aligned and every learned
+//! structure is per-group, a sharded table holds *exactly* the same
+//! groups as the unsharded one — lookups, post-compaction segment
+//! counts and memory bytes are identical for any shard count, and a
+//! 1-shard service forwards every call verbatim (state-identical,
+//! pinned by the `sharding_equivalence` proptests). Only *when*
+//! interval-gated maintenance fires differs for N > 1, since each
+//! shard counts its own writes.
+//!
+//! # Parallel fan-out
+//!
+//! Shards are disjoint, so a burst large enough to amortise thread
+//! spawn cost is translated by scoped threads, one per shard — the
+//! wall-clock speedup the `sharding` experiment and the `shard_micro`
+//! bench measure. Small bursts take the sequential path; either path
+//! returns bit-identical results in the caller's order.
+
+use crate::scheme::{MapCost, MappingLookup, MappingScheme, ShardPressure};
+use leaftl_flash::{Lpa, Ppa};
+
+/// Minimum burst size (addresses) before the fan-out uses one thread
+/// per shard; below this the spawn/join overhead exceeds the
+/// translation work and the fan-out stays sequential.
+pub const PARALLEL_BATCH_MIN: usize = 1024;
+
+/// A range-sharded translation service over any [`MappingScheme`].
+///
+/// # Example
+///
+/// ```
+/// use leaftl_core::{ExactPageMap, MappingScheme, ShardedMapping};
+/// use leaftl_flash::{Lpa, Ppa};
+///
+/// let mut sharded = ShardedMapping::new(4, 4096, |_| ExactPageMap::new());
+/// sharded.update_batch(&[(Lpa::new(10), Ppa::new(70)), (Lpa::new(3000), Ppa::new(71))]);
+/// assert_eq!(sharded.shard_count(), 4);
+/// assert_ne!(sharded.shard_of(Lpa::new(10)), sharded.shard_of(Lpa::new(3000)));
+/// assert_eq!(sharded.lookup(Lpa::new(3000)).0.unwrap().ppa, Ppa::new(71));
+/// ```
+#[derive(Debug, Clone)]
+pub struct ShardedMapping<S> {
+    shards: Vec<S>,
+    /// LPAs per shard; a multiple of [`Lpa::GROUP_SIZE`] so no learned
+    /// group straddles two shards. LPAs at or beyond
+    /// `span × shard_count` route to the last shard.
+    span: u64,
+}
+
+impl<S> ShardedMapping<S> {
+    /// Partitions `capacity_lpas` logical pages into `shards` range
+    /// shards (at least one), building each inner scheme with `build`
+    /// (called with the shard index). The per-shard span is rounded up
+    /// to a multiple of [`Lpa::GROUP_SIZE`] so shard boundaries always
+    /// align with learned-group boundaries.
+    pub fn new(shards: usize, capacity_lpas: u64, mut build: impl FnMut(usize) -> S) -> Self {
+        let count = shards.max(1);
+        let raw_span = capacity_lpas.div_ceil(count as u64).max(1);
+        let span = raw_span.div_ceil(Lpa::GROUP_SIZE) * Lpa::GROUP_SIZE;
+        ShardedMapping {
+            shards: (0..count).map(&mut build).collect(),
+            span,
+        }
+    }
+
+    /// LPAs per shard (group-aligned).
+    pub fn shard_span(&self) -> u64 {
+        self.span
+    }
+
+    /// Read access to one shard's inner scheme.
+    pub fn shard(&self, index: usize) -> &S {
+        &self.shards[index]
+    }
+
+    /// Iterates the inner schemes in shard order.
+    pub fn shards(&self) -> impl Iterator<Item = &S> {
+        self.shards.iter()
+    }
+
+    fn route(&self, lpa: Lpa) -> usize {
+        ((lpa.raw() / self.span) as usize).min(self.shards.len() - 1)
+    }
+}
+
+impl<S: MappingScheme + Send> ShardedMapping<S> {
+    /// Compacts every shard unconditionally (tests and offline
+    /// footprint measurements; the device compacts shards individually
+    /// through [`MappingScheme::maintain_shard`]).
+    pub fn compact_all(&mut self) -> MapCost {
+        let mut cost = MapCost::FREE;
+        for shard in 0..self.shards.len() {
+            cost.add(self.maintain_shard(shard).0);
+        }
+        cost
+    }
+}
+
+impl<S: MappingScheme + Send> MappingScheme for ShardedMapping<S> {
+    fn name(&self) -> &'static str {
+        self.shards[0].name()
+    }
+
+    fn update_batch(&mut self, pairs: &[(Lpa, Ppa)]) -> MapCost {
+        if self.shards.len() == 1 {
+            return self.shards[0].update_batch(pairs);
+        }
+        // Stable per-shard partition: each LPA belongs to exactly one
+        // shard and keeps its relative order there, so last-write-wins
+        // semantics survive the split.
+        let mut per_shard: Vec<Vec<(Lpa, Ppa)>> = vec![Vec::new(); self.shards.len()];
+        for &pair in pairs {
+            per_shard[self.route(pair.0)].push(pair);
+        }
+        let mut cost = MapCost::FREE;
+        for (shard, batch) in self.shards.iter_mut().zip(&per_shard) {
+            if !batch.is_empty() {
+                cost.add(shard.update_batch(batch));
+            }
+        }
+        cost
+    }
+
+    fn update_batch_sorted(&mut self, pairs: &[(Lpa, Ppa)]) -> MapCost {
+        if self.shards.len() == 1 {
+            return self.shards[0].update_batch_sorted(pairs);
+        }
+        // Sorted input means shard ids are non-decreasing: split into
+        // contiguous runs at shard boundaries, no copying.
+        let mut cost = MapCost::FREE;
+        let mut start = 0usize;
+        while start < pairs.len() {
+            let shard = self.route(pairs[start].0);
+            let mut end = start + 1;
+            while end < pairs.len() && self.route(pairs[end].0) == shard {
+                end += 1;
+            }
+            cost.add(self.shards[shard].update_batch_sorted(&pairs[start..end]));
+            start = end;
+        }
+        cost
+    }
+
+    fn lookup(&mut self, lpa: Lpa) -> (Option<MappingLookup>, MapCost) {
+        let shard = self.route(lpa);
+        self.shards[shard].lookup(lpa)
+    }
+
+    fn lookup_batch(&mut self, lpas: &[Lpa]) -> Vec<(Option<MappingLookup>, MapCost)> {
+        if self.shards.len() == 1 {
+            return self.shards[0].lookup_batch(lpas);
+        }
+        // Partition the burst per shard, remembering where each address
+        // came from so results merge back in the caller's order.
+        let mut per_shard: Vec<Vec<Lpa>> = vec![Vec::new(); self.shards.len()];
+        let mut slots: Vec<(u32, u32)> = Vec::with_capacity(lpas.len());
+        for &lpa in lpas {
+            let shard = self.route(lpa);
+            slots.push((shard as u32, per_shard[shard].len() as u32));
+            per_shard[shard].push(lpa);
+        }
+        let per_shard_results: Vec<Vec<(Option<MappingLookup>, MapCost)>> = if lpas.len()
+            >= PARALLEL_BATCH_MIN
+        {
+            // Shards are disjoint state: translate them on real
+            // threads, one per shard that actually received work —
+            // a skewed burst landing in one shard spawns one
+            // thread, not one per shard. Results are deterministic:
+            // each thread only touches its own shard and sub-batch.
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = self
+                    .shards
+                    .iter_mut()
+                    .zip(per_shard.iter())
+                    .map(|(shard, batch)| {
+                        (!batch.is_empty()).then(|| scope.spawn(move || shard.lookup_batch(batch)))
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|handle| match handle {
+                        Some(handle) => handle.join().expect("shard translation thread"),
+                        None => Vec::new(),
+                    })
+                    .collect()
+            })
+        } else {
+            self.shards
+                .iter_mut()
+                .zip(per_shard.iter())
+                .map(|(shard, batch)| shard.lookup_batch(batch))
+                .collect()
+        };
+        slots
+            .into_iter()
+            .map(|(shard, index)| per_shard_results[shard as usize][index as usize])
+            .collect()
+    }
+
+    fn lookup_is_pure(&self) -> bool {
+        self.shards.iter().all(MappingScheme::lookup_is_pure)
+    }
+
+    fn memory_bytes(&self) -> usize {
+        self.shards
+            .iter()
+            .fold(0usize, |sum, s| sum.saturating_add(s.memory_bytes()))
+    }
+
+    fn set_memory_budget(&mut self, bytes: usize) {
+        // Even split: the §3.1 bound then holds shard-locally (each
+        // shard against its slice of the budget) and globally (the
+        // slices sum to the device budget).
+        let per_shard = (bytes / self.shards.len()).max(1);
+        for shard in &mut self.shards {
+            shard.set_memory_budget(per_shard);
+        }
+    }
+
+    fn maintain(&mut self) -> (MapCost, bool) {
+        let mut cost = MapCost::FREE;
+        let mut compacted = false;
+        for shard in &mut self.shards {
+            let (c, ran) = shard.maintain();
+            cost.add(c);
+            compacted |= ran;
+        }
+        (cost, compacted)
+    }
+
+    fn learn_cost_ns(&self, batch_len: usize) -> u64 {
+        // Shards learn their slices concurrently; the batch's critical
+        // path is bounded by one shard's cost model (the inner schemes
+        // share it).
+        self.shards[0].learn_cost_ns(batch_len)
+    }
+
+    fn snapshot_bytes(&self) -> usize {
+        self.shards
+            .iter()
+            .fold(0usize, |sum, s| sum.saturating_add(s.snapshot_bytes()))
+    }
+
+    fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    fn shard_of(&self, lpa: Lpa) -> usize {
+        self.route(lpa)
+    }
+
+    fn shard_pressure(&self, shard: usize) -> ShardPressure {
+        self.shards[shard].shard_pressure(0)
+    }
+
+    fn maintain_shard(&mut self, shard: usize) -> (MapCost, bool) {
+        self.shards[shard].maintain_shard(0)
+    }
+
+    fn compact_cost_ns(&self, shard: usize) -> u64 {
+        self.shards[shard].compact_cost_ns(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scheme::ExactPageMap;
+
+    fn pairs(range: std::ops::Range<u64>, ppa0: u64) -> Vec<(Lpa, Ppa)> {
+        range
+            .clone()
+            .zip(ppa0..)
+            .map(|(lpa, ppa)| (Lpa::new(lpa), Ppa::new(ppa)))
+            .collect()
+    }
+
+    #[test]
+    fn span_is_group_aligned_and_covers_capacity() {
+        let sharded = ShardedMapping::new(3, 1000, |_| ExactPageMap::new());
+        assert_eq!(sharded.shard_span() % Lpa::GROUP_SIZE, 0);
+        assert!(sharded.shard_span() * 3 >= 1000);
+        assert_eq!(sharded.shard_count(), 3);
+    }
+
+    #[test]
+    fn out_of_range_lpas_route_to_last_shard() {
+        let sharded = ShardedMapping::new(4, 1024, |_| ExactPageMap::new());
+        assert_eq!(sharded.shard_of(Lpa::new(u64::MAX / 2)), 3);
+        assert_eq!(sharded.shard_of(Lpa::new(0)), 0);
+    }
+
+    #[test]
+    fn zero_shards_clamps_to_one() {
+        let sharded = ShardedMapping::new(0, 0, |_| ExactPageMap::new());
+        assert_eq!(sharded.shard_count(), 1);
+        assert_eq!(sharded.shard_span(), Lpa::GROUP_SIZE);
+    }
+
+    #[test]
+    fn sorted_split_and_unsorted_partition_agree() {
+        let batch = pairs(0..2048, 9000);
+        let mut via_sorted = ShardedMapping::new(4, 2048, |_| ExactPageMap::new());
+        via_sorted.update_batch_sorted(&batch);
+        let mut via_unsorted = ShardedMapping::new(4, 2048, |_| ExactPageMap::new());
+        via_unsorted.update_batch(&batch);
+        for &(lpa, ppa) in &batch {
+            assert_eq!(via_sorted.lookup(lpa).0.unwrap().ppa, ppa);
+            assert_eq!(via_unsorted.lookup(lpa).0.unwrap().ppa, ppa);
+        }
+        assert_eq!(via_sorted.memory_bytes(), via_unsorted.memory_bytes());
+    }
+
+    #[test]
+    fn duplicate_updates_keep_last_write_per_shard() {
+        let mut sharded = ShardedMapping::new(2, 512, |_| ExactPageMap::new());
+        sharded.update_batch(&[
+            (Lpa::new(5), Ppa::new(1)),
+            (Lpa::new(300), Ppa::new(2)),
+            (Lpa::new(5), Ppa::new(3)),
+        ]);
+        assert_eq!(sharded.lookup(Lpa::new(5)).0.unwrap().ppa, Ppa::new(3));
+        assert_eq!(sharded.lookup(Lpa::new(300)).0.unwrap().ppa, Ppa::new(2));
+    }
+
+    #[test]
+    fn batch_fanout_merges_in_caller_order() {
+        let mut sharded = ShardedMapping::new(4, 4096, |_| ExactPageMap::new());
+        sharded.update_batch(&pairs(0..4096, 50_000));
+        // Interleave shards, include unmapped addresses.
+        let burst: Vec<Lpa> = (0..64u64).map(|i| Lpa::new((i * 997) % 5000)).collect();
+        let merged = sharded.lookup_batch(&burst);
+        for (&lpa, got) in burst.iter().zip(&merged) {
+            assert_eq!(*got, sharded.lookup(lpa), "lpa {lpa}");
+        }
+    }
+
+    #[test]
+    fn threaded_and_sequential_fanout_are_identical() {
+        let mut sharded = ShardedMapping::new(8, 1 << 16, |_| ExactPageMap::new());
+        sharded.update_batch(&pairs(0..(1 << 16), 100_000));
+        // Above the parallel threshold: this burst takes the threaded
+        // path; the pointwise lookups below are the sequential oracle.
+        let burst: Vec<Lpa> = (0..(PARALLEL_BATCH_MIN as u64 * 2))
+            .map(|i| Lpa::new((i * 31) % (1 << 16)))
+            .collect();
+        assert!(burst.len() >= PARALLEL_BATCH_MIN);
+        let threaded = sharded.lookup_batch(&burst);
+        for (&lpa, got) in burst.iter().zip(&threaded) {
+            assert_eq!(*got, sharded.lookup(lpa), "lpa {lpa}");
+        }
+    }
+
+    #[test]
+    fn memory_is_summed_and_budget_split() {
+        let mut sharded = ShardedMapping::new(4, 4096, |_| ExactPageMap::new());
+        sharded.update_batch(&pairs(0..1024, 0));
+        assert_eq!(sharded.memory_bytes(), 1024 * 8);
+        sharded.set_memory_budget(1 << 20); // no-op for ExactPageMap
+        assert!(sharded.lookup_is_pure());
+    }
+}

@@ -244,6 +244,18 @@ impl LeaFtlTable {
         self.groups.len()
     }
 
+    /// Deepest log-structured level stack across all groups — the
+    /// lookup-cost half of the compaction-pressure signal a background
+    /// compaction scheduler polls (the other half is
+    /// [`LeaFtlTable::segment_count`]).
+    pub fn max_level_depth(&self) -> usize {
+        self.groups
+            .values()
+            .map(Group::level_count)
+            .max()
+            .unwrap_or(0)
+    }
+
     /// Memory footprint: 8 B per segment + CRB bytes (paper accounting).
     pub fn memory_bytes(&self) -> MemoryBreakdown {
         MemoryBreakdown {

@@ -24,7 +24,9 @@
 pub enum Source {
     /// Host submission queue by index.
     Host(usize),
-    /// The internal GC migration queue.
+    /// The internal background queue: GC migrations and translation
+    /// compactions ([`crate::Command::Compact`]). The device serves
+    /// space reclamation first when both are pending.
     Gc,
 }
 
@@ -44,6 +46,9 @@ pub struct ArbiterView<'a> {
     pub host: &'a [QueueView],
     /// Pending background GC migrations.
     pub gc_pending: usize,
+    /// Pending background translation-shard compactions (served from
+    /// the same internal source as GC, after migrations).
+    pub compact_pending: usize,
     /// Current free-block fraction (GC urgency signal).
     pub free_fraction: f64,
     /// Current virtual time.
@@ -55,7 +60,7 @@ impl ArbiterView<'_> {
     pub fn is_ready(&self, source: Source) -> bool {
         match source {
             Source::Host(i) => self.host.get(i).is_some_and(|q| q.head_ready),
-            Source::Gc => self.gc_pending > 0,
+            Source::Gc => self.gc_pending + self.compact_pending > 0,
         }
     }
 
@@ -66,7 +71,7 @@ impl ArbiterView<'_> {
             .enumerate()
             .filter(|(_, q)| q.head_ready)
             .map(|(i, _)| Source::Host(i))
-            .chain((self.gc_pending > 0).then_some(Source::Gc))
+            .chain((self.gc_pending + self.compact_pending > 0).then_some(Source::Gc))
     }
 }
 
@@ -240,6 +245,7 @@ mod tests {
         ArbiterView {
             host,
             gc_pending,
+            compact_pending: 0,
             free_fraction: 0.5,
             now_ns: 0,
         }
@@ -310,6 +316,22 @@ mod tests {
         for _ in 0..4 {
             assert_eq!(arbiter.pick(&view(&host, 0)), Source::Host(0));
         }
+    }
+
+    #[test]
+    fn compactions_make_the_background_source_ready() {
+        let host = [ready(0)];
+        let v = ArbiterView {
+            host: &host,
+            gc_pending: 0,
+            compact_pending: 3,
+            free_fraction: 0.5,
+            now_ns: 0,
+        };
+        assert!(v.is_ready(Source::Gc));
+        assert_eq!(v.ready_sources().next(), Some(Source::Gc));
+        let mut arbiter = RoundRobin::new();
+        assert_eq!(arbiter.pick(&v), Source::Gc);
     }
 
     #[test]

@@ -48,6 +48,29 @@ pub enum GcMode {
     Background,
 }
 
+/// When learned-table compaction runs relative to the host write path.
+///
+/// Historically compaction was an inline side effect of the buffer
+/// flush ([`crate::MappingScheme::maintain`] every
+/// [`SsdConfig::compaction_interval_writes`] host writes), so its CPU
+/// cost was invisible on the timeline. The multi-queue
+/// [`crate::Device`] can instead promote it to first-class background
+/// traffic: a compaction scheduler polls per-shard structural pressure
+/// ([`crate::MappingScheme::shard_pressure`]) and emits
+/// [`crate::Command::Compact`] commands that the arbiter schedules
+/// against host queues, charging the compaction sweep on the shard's
+/// translation-CPU timeline where concurrent lookups must wait for it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum CompactionMode {
+    /// Compact inside the flush path on the write interval (the legacy
+    /// behaviour; the default).
+    Inline,
+    /// Skip inline maintenance; the device emits per-shard
+    /// [`crate::Command::Compact`] background commands when a shard's
+    /// level depth or segment count crosses its threshold.
+    Background,
+}
+
 /// Full configuration of a simulated SSD.
 ///
 /// Defaults mirror Table 1 of the paper: 2 TB capacity, 16 channels,

@@ -59,7 +59,7 @@
 //! ```
 
 use crate::arbiter::{Arbiter, ArbiterView, QueueView, RoundRobin, Source};
-use crate::config::GcMode;
+use crate::config::{CompactionMode, GcMode};
 use crate::error::SimError;
 use crate::mapping::MappingScheme;
 use crate::request::{Command, IoCompletion, IoRequest};
@@ -73,6 +73,44 @@ use std::collections::{BinaryHeap, HashSet, VecDeque};
 /// queue.
 pub const GC_QUEUE: u32 = u32::MAX;
 
+/// Queue/stream id stamped on background-compaction completions
+/// ([`Command::Compact`]) — like [`GC_QUEUE`], internal device
+/// traffic, not any host submission queue.
+pub const COMPACT_QUEUE: u32 = u32::MAX - 1;
+
+/// The background compaction scheduler's trigger thresholds: a
+/// translation shard whose structural pressure
+/// ([`crate::MappingScheme::shard_pressure`]) crosses *either* axis is
+/// queued for a [`Command::Compact`] sweep. Level depth is the
+/// lookup-latency trigger (every extra log-structured level is a
+/// longer top-down search), segment count the memory trigger (the
+/// §3.1 bound is restored by dropping shadowed segments).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CompactionScheduler {
+    /// Queue a shard once its deepest group reaches this many levels.
+    pub level_threshold: u32,
+    /// Queue a shard once it holds this many learned segments.
+    pub segment_threshold: usize,
+}
+
+impl CompactionScheduler {
+    /// Whether a shard at `levels`/`segments` pressure is due.
+    fn due(&self, levels: u32, segments: usize) -> bool {
+        levels >= self.level_threshold || segments >= self.segment_threshold
+    }
+}
+
+impl Default for CompactionScheduler {
+    /// Level-driven by default: compact a shard once lookups would
+    /// walk 4 levels; the segment axis is effectively disabled.
+    fn default() -> Self {
+        CompactionScheduler {
+            level_threshold: 4,
+            segment_threshold: usize::MAX,
+        }
+    }
+}
+
 /// Construction-time shape of a [`Device`]: queue count, outstanding
 /// host-command budget, GC scheduling mode and arbitration policy.
 #[derive(Debug)]
@@ -85,6 +123,12 @@ pub struct DeviceConfig {
     /// Whether GC runs synchronously in the flush path or as
     /// arbitrated background traffic.
     pub gc_mode: GcMode,
+    /// Whether learned-table compaction runs inline in the flush path
+    /// or as scheduled [`Command::Compact`] background traffic.
+    pub compaction_mode: CompactionMode,
+    /// Trigger thresholds for the background compaction scheduler
+    /// (unused in [`CompactionMode::Inline`]).
+    pub compaction: CompactionScheduler,
     /// The arbitration policy.
     pub arbiter: Box<dyn Arbiter>,
 }
@@ -97,6 +141,8 @@ impl DeviceConfig {
             queues: queues.max(1),
             queue_depth: queue_depth.max(1),
             gc_mode: GcMode::Synchronous,
+            compaction_mode: CompactionMode::Inline,
+            compaction: CompactionScheduler::default(),
             arbiter: Box::new(RoundRobin::new()),
         }
     }
@@ -115,6 +161,28 @@ impl DeviceConfig {
     /// Sets the GC scheduling mode.
     pub fn with_gc_mode(mut self, mode: GcMode) -> Self {
         self.gc_mode = mode;
+        self
+    }
+
+    /// Switches learned-table compaction to scheduled background
+    /// traffic ([`Command::Compact`]) with the default thresholds.
+    pub fn background_compaction(mut self) -> Self {
+        self.compaction_mode = CompactionMode::Background;
+        self
+    }
+
+    /// Sets the compaction scheduling mode.
+    pub fn with_compaction_mode(mut self, mode: CompactionMode) -> Self {
+        self.compaction_mode = mode;
+        self
+    }
+
+    /// Sets the background compaction scheduler's trigger thresholds.
+    pub fn with_compaction_thresholds(mut self, levels: u32, segments: usize) -> Self {
+        self.compaction = CompactionScheduler {
+            level_threshold: levels.max(1),
+            segment_threshold: segments.max(1),
+        };
         self
     }
 
@@ -150,9 +218,11 @@ struct PendingMigration {
 
 /// The multi-queue device front-end over a borrowed [`Ssd`].
 ///
-/// Dropping the device discards still-pending commands (and restores
-/// the SSD's synchronous GC mode); call [`Device::drain`] to run
-/// everything down first.
+/// Run the backlog down with [`Device::drain`] before letting the
+/// device go: dropping it with host commands still pending silently
+/// discards them, which debug builds treat as a caller bug
+/// (`debug_assert`). Drop always restores the SSD's blocking-path
+/// contract (synchronous GC, inline compaction).
 #[derive(Debug)]
 pub struct Device<'a, S: MappingScheme + Clone> {
     ssd: &'a mut Ssd<S>,
@@ -193,6 +263,29 @@ pub struct Device<'a, S: MappingScheme + Clone> {
     gc_dispatched: u64,
     /// Virtual time host writes spent blocked at the hard floor.
     gc_stall_ns: u64,
+    /// Background compaction scheduler thresholds.
+    compaction: CompactionScheduler,
+    /// Shards queued for a background compaction sweep, FIFO.
+    compact_pending: VecDeque<usize>,
+    /// Shard ids currently queued, for scan dedup.
+    compact_queued: HashSet<usize>,
+    /// Each shard's pressure snapshot right after its last dispatched
+    /// compaction: pressure only changes through learning in *that
+    /// shard*, so while the snapshot still matches, another sweep
+    /// cannot make progress — the guard that keeps aggressive
+    /// threshold configs (a threshold at or below a shard's live
+    /// segment population) from re-compacting a shard on every flush
+    /// that only touched its neighbours.
+    compact_stamp: Vec<Option<crate::mapping::ShardPressure>>,
+    /// Program stamp of the last pressure scan (scan skipped while it
+    /// is unchanged).
+    compact_scan_stamp: Option<u64>,
+    /// Compaction sweeps dispatched so far.
+    compact_dispatched: u64,
+    /// Set when a dispatch error surfaced through `submit`/`drain`;
+    /// the drop-time "undrained device" assert stands down, since the
+    /// caller is already unwinding a failed run.
+    poisoned: bool,
 }
 
 impl<'a, S: MappingScheme + Clone> Device<'a, S> {
@@ -201,6 +294,8 @@ impl<'a, S: MappingScheme + Clone> Device<'a, S> {
     /// synchronous on drop.
     pub fn new(ssd: &'a mut Ssd<S>, config: DeviceConfig) -> Self {
         ssd.set_gc_mode(config.gc_mode);
+        ssd.set_compaction_mode(config.compaction_mode);
+        let shard_count = ssd.shard_count();
         let mut queues = Vec::with_capacity(config.queues);
         queues.resize_with(config.queues, HostQueue::default);
         Device {
@@ -220,6 +315,13 @@ impl<'a, S: MappingScheme + Clone> Device<'a, S> {
             gc_busy_until: 0,
             gc_dispatched: 0,
             gc_stall_ns: 0,
+            compaction: config.compaction,
+            compact_pending: VecDeque::new(),
+            compact_queued: HashSet::new(),
+            compact_stamp: vec![None; shard_count],
+            compact_scan_stamp: None,
+            compact_dispatched: 0,
+            poisoned: false,
         }
     }
 
@@ -254,6 +356,11 @@ impl<'a, S: MappingScheme + Clone> Device<'a, S> {
         self.gc_stall_ns
     }
 
+    /// Background compaction sweeps dispatched so far.
+    pub fn compact_dispatched(&self) -> u64 {
+        self.compact_dispatched
+    }
+
     /// Enqueues a host command on submission queue `queue`, returning
     /// its device-assigned id. Dispatch happens once a full
     /// queue-depth batch is pending across all queues (or on
@@ -269,12 +376,16 @@ impl<'a, S: MappingScheme + Clone> Device<'a, S> {
     ///
     /// # Panics
     ///
-    /// Panics if the request carries a [`Command::GcMigrate`] — GC
-    /// migrations are internal device traffic, not host-submittable.
+    /// Panics if the request carries a [`Command::GcMigrate`] or
+    /// [`Command::Compact`] — background migrations and compactions
+    /// are internal device traffic, not host-submittable.
     pub fn submit_to(&mut self, queue: usize, mut request: IoRequest) -> Result<u64, SimError> {
         assert!(
-            !matches!(request.command, Command::GcMigrate { .. }),
-            "GC migrations are internal device traffic"
+            !matches!(
+                request.command,
+                Command::GcMigrate { .. } | Command::Compact { .. }
+            ),
+            "GC migrations and compactions are internal device traffic"
         );
         if queue >= self.queues.len() {
             return Err(SimError::UnknownQueue(queue));
@@ -291,7 +402,10 @@ impl<'a, S: MappingScheme + Clone> Device<'a, S> {
         self.next_id += 1;
         slot.pending.push_back((id, request));
         if self.pending_total() >= self.queue_depth {
-            self.pump()?;
+            if let Err(e) = self.pump() {
+                self.poisoned = true;
+                return Err(e);
+            }
         }
         Ok(id)
     }
@@ -330,7 +444,10 @@ impl<'a, S: MappingScheme + Clone> Device<'a, S> {
     /// trailing migrations keep their die reservations but the host
     /// does not wait on them.
     pub fn drain(&mut self) -> Result<Vec<IoCompletion>, SimError> {
-        self.pump()?;
+        if let Err(e) = self.pump() {
+            self.poisoned = true;
+            return Err(e);
+        }
         while let Some(Reverse(complete_ns)) = self.inflight.pop() {
             self.ssd.advance_to(complete_ns);
         }
@@ -400,6 +517,73 @@ impl<'a, S: MappingScheme + Clone> Device<'a, S> {
             });
         }
         self.gc_scan_exhausted = None;
+    }
+
+    /// Tops the background-compaction queue up: every translation
+    /// shard whose structural pressure crossed the scheduler's level or
+    /// segment threshold — *and* whose pressure changed since its last
+    /// sweep (another sweep of unchanged structures cannot make
+    /// progress) — is queued for one [`Command::Compact`] sweep. The
+    /// scan is stamped by the flash program count — pressure only
+    /// changes through learning, which only happens on programs, so
+    /// the O(shards × groups) pressure walk runs once per flush rather
+    /// than once per dispatch.
+    fn replenish_compaction(&mut self) {
+        if self.ssd.compaction_mode() != CompactionMode::Background {
+            return;
+        }
+        let programs = self.ssd.stats().flash.total_programs();
+        if self.compact_scan_stamp == Some(programs) {
+            return;
+        }
+        self.compact_scan_stamp = Some(programs);
+        for shard in 0..self.compact_stamp.len() {
+            if self.compact_queued.contains(&shard) {
+                continue;
+            }
+            let pressure = self.ssd.shard_pressure(shard);
+            if self.compact_stamp[shard] == Some(pressure) {
+                continue;
+            }
+            if self.compaction.due(pressure.levels, pressure.segments) {
+                self.compact_queued.insert(shard);
+                self.compact_pending.push_back(shard);
+            }
+        }
+    }
+
+    /// Dispatches the next queued compaction as a [`Command::Compact`]:
+    /// the shard's structures compact at dispatch (state-at-dispatch,
+    /// like every other command) and the sweep's CPU cost lands on the
+    /// shard's translation-CPU timeline, where concurrent lookups must
+    /// wait for it. Retires as an [`IoCompletion`] on the
+    /// [`COMPACT_QUEUE`] so reports and tests observe compaction
+    /// traffic alongside host commands.
+    fn dispatch_compact(&mut self) -> Result<Option<u64>, SimError> {
+        let Some(shard) = self.compact_pending.pop_front() else {
+            return Ok(None);
+        };
+        self.compact_queued.remove(&shard);
+        let dispatch_ns = self.ssd.now_ns();
+        let deadline = self.ssd.service_compact(shard)?;
+        // Snapshot the *post-sweep* pressure: until learning changes it
+        // again, this shard cannot be re-queued.
+        self.compact_stamp[shard] = Some(self.ssd.shard_pressure(shard));
+        self.compact_dispatched += 1;
+        let id = self.next_id;
+        self.next_id += 1;
+        self.completed.push(IoCompletion {
+            id,
+            queue: COMPACT_QUEUE,
+            stream: COMPACT_QUEUE,
+            command: Command::Compact { shard },
+            data: None,
+            arrival_ns: dispatch_ns,
+            dispatch_ns,
+            complete_ns: deadline,
+            gc_overlap: false,
+        });
+        Ok(Some(deadline))
     }
 
     /// Dispatches the next queued migration as a
@@ -494,8 +678,9 @@ impl<'a, S: MappingScheme + Clone> Device<'a, S> {
         loop {
             self.retire_due();
             self.replenish_gc();
+            self.replenish_compaction();
             let host_pending = self.pending_total();
-            if host_pending == 0 && self.gc_pending.is_empty() {
+            if host_pending == 0 && self.gc_pending.is_empty() && self.compact_pending.is_empty() {
                 return Ok(());
             }
 
@@ -515,7 +700,7 @@ impl<'a, S: MappingScheme + Clone> Device<'a, S> {
             }
             let ready_hosts = self.view_scratch.iter().filter(|q| q.head_ready).count();
 
-            if ready_hosts == 0 && self.gc_pending.is_empty() {
+            if ready_hosts == 0 && self.gc_pending.is_empty() && self.compact_pending.is_empty() {
                 if host_blocked {
                     // Queue full: the host blocks until the earliest
                     // in-flight command completes.
@@ -538,6 +723,7 @@ impl<'a, S: MappingScheme + Clone> Device<'a, S> {
             let view = ArbiterView {
                 host: &self.view_scratch,
                 gc_pending: self.gc_pending.len(),
+                compact_pending: self.compact_pending.len(),
                 free_fraction: self.ssd.free_fraction(),
                 now_ns: now,
             };
@@ -550,10 +736,15 @@ impl<'a, S: MappingScheme + Clone> Device<'a, S> {
             // of the free depth, so batching (which amortises the
             // mapping traversal) cannot turn per-command arbitration
             // into whole-queue-depth bursts while other sources wait.
-            let ready_sources = ready_hosts + usize::from(!self.gc_pending.is_empty());
+            let background_ready = !self.gc_pending.is_empty() || !self.compact_pending.is_empty();
+            let ready_sources = ready_hosts + usize::from(background_ready);
             match source {
                 Source::Gc => {
-                    self.dispatch_gc()?;
+                    // The internal background source: space reclamation
+                    // first (it guards correctness), then compaction.
+                    if self.dispatch_gc()?.is_none() {
+                        self.dispatch_compact()?;
+                    }
                 }
                 Source::Host(queue) => self.dispatch_host(queue, ready_sources)?,
             }
@@ -611,7 +802,9 @@ impl<'a, S: MappingScheme + Clone> Device<'a, S> {
                 let complete_ns = self.ssd.service_flush()?;
                 self.finish(id, queue, req, None, now, complete_ns);
             }
-            Command::GcMigrate { .. } => unreachable!("rejected at submit"),
+            Command::GcMigrate { .. } | Command::Compact { .. } => {
+                unreachable!("rejected at submit")
+            }
         }
         Ok(())
     }
@@ -646,8 +839,20 @@ impl<'a, S: MappingScheme + Clone> Device<'a, S> {
 impl<S: MappingScheme + Clone> Drop for Device<'_, S> {
     fn drop(&mut self) {
         // The borrowed SSD outlives the device; hand it back with the
-        // blocking-path contract (synchronous GC) intact.
+        // blocking-path contract (synchronous GC, inline compaction)
+        // intact.
         self.ssd.set_gc_mode(GcMode::Synchronous);
+        self.ssd.set_compaction_mode(CompactionMode::Inline);
+        // Dropping undrained host commands silently discards work the
+        // caller submitted — a bug in the caller. Internal GC/compact
+        // backlog is regenerable and exempt; so are devices whose last
+        // dispatch already surfaced an error, and drops during a panic
+        // unwind.
+        debug_assert!(
+            self.poisoned || std::thread::panicking() || self.pending_total() == 0,
+            "Device dropped with {} pending host commands — call drain() first",
+            self.pending_total()
+        );
     }
 }
 
@@ -973,6 +1178,87 @@ mod tests {
             device.gc_stall_ns() > 0,
             "a write-saturated device must eventually hit the floor"
         );
+    }
+
+    #[test]
+    fn background_compaction_dispatches_and_preserves_data() {
+        use crate::leaftl_scheme::LeaFtlScheme;
+        use crate::request::IoKind;
+        use leaftl_core::LeaFtlConfig;
+
+        let mut config = SsdConfig::small_test();
+        config.gamma = 0;
+        // Huge inline interval: any compaction observed below must have
+        // come from the background scheduler, not the flush path.
+        let mut device_ssd = Ssd::new(
+            config,
+            LeaFtlScheme::new(LeaFtlConfig::default().with_compaction_interval(u64::MAX)),
+        );
+        let logical = device_ssd.config().logical_pages();
+        {
+            let mut device = Device::new(
+                &mut device_ssd,
+                DeviceConfig::single(8)
+                    .background_compaction()
+                    // Segment-driven trigger: the sliding window grows
+                    // the segment population by ~3 per round (γ=0
+                    // stride-1 trims keep levels flat), so the sweep
+                    // fires several times across the run.
+                    .with_compaction_thresholds(u32::MAX, 24),
+            );
+            // A sliding window of *partially* overlapping writes: each
+            // round shadows only part of the previous round's segments,
+            // so trimmed victims get pushed down and the log-structured
+            // levels stack past the threshold again and again. (Full
+            // overwrites would shadow whole segments away and never
+            // deepen the stack.)
+            for round in 0..10u64 {
+                for i in 0..256u64 {
+                    let lpa = (round * 96 + i) % logical;
+                    device
+                        .submit_write(Lpa::new(lpa), round * 1_000 + i)
+                        .unwrap();
+                }
+            }
+            let completions = device.drain().unwrap();
+            assert!(
+                device.compact_dispatched() > 0,
+                "background compaction must have run"
+            );
+            let compacts: Vec<_> = completions
+                .iter()
+                .filter(|c| c.kind() == IoKind::Compact)
+                .collect();
+            assert_eq!(compacts.len() as u64, device.compact_dispatched());
+            assert!(compacts.iter().all(|c| c.queue == COMPACT_QUEUE));
+            // The sweep costs CPU time on the timeline, never free.
+            assert!(compacts.iter().all(|c| c.complete_ns > c.dispatch_ns));
+        }
+        assert_eq!(
+            device_ssd.compaction_mode(),
+            CompactionMode::Inline,
+            "mode restored on drop"
+        );
+        assert!(device_ssd.stats().compactions > 0);
+        // Last round's window must read back exactly.
+        for i in (0..256u64).step_by(7) {
+            let lpa = (9 * 96 + i) % logical;
+            assert_eq!(
+                device_ssd.read(Lpa::new(lpa)).unwrap(),
+                Some(9 * 1_000 + i),
+                "lpa {lpa}"
+            );
+        }
+    }
+
+    #[cfg(debug_assertions)]
+    #[test]
+    #[should_panic(expected = "pending host commands")]
+    fn dropping_undrained_device_asserts_in_debug() {
+        let mut device_ssd = ssd();
+        let mut device = Device::new(&mut device_ssd, DeviceConfig::single(8));
+        device.submit_write(Lpa::new(0), 1).unwrap();
+        drop(device);
     }
 
     #[test]

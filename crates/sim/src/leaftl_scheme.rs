@@ -8,9 +8,20 @@
 //! everything stays resident and no translation traffic occurs.
 
 use crate::lru::LruCache;
-use crate::mapping::{MapCost, MappingLookup, MappingScheme};
+use crate::mapping::{MapCost, MappingLookup, MappingScheme, ShardPressure};
 use leaftl_core::{LeaFtlConfig, LeaFtlTable, TableStats};
 use leaftl_flash::{Lpa, Ppa};
+
+/// Base CPU cost of one compaction sweep (setup + re-layering), on top
+/// of the per-segment trim work — the fixed part of
+/// [`MappingScheme::compact_cost_ns`].
+const COMPACT_BASE_NS: u64 = 10_000;
+
+/// Per-segment CPU cost of the compaction sweep: each resident segment
+/// is trimmed against the cumulative fresher claims (bitmap work +
+/// possible CRB splice), ~Table 3's scale for segment-granular CPU
+/// operations.
+const COMPACT_PER_SEGMENT_NS: u64 = 500;
 
 /// LeaFTL as a pluggable mapping scheme.
 #[derive(Debug, Clone)]
@@ -179,6 +190,30 @@ impl MappingScheme for LeaFtlScheme {
 
     fn snapshot_bytes(&self) -> usize {
         self.table.memory_bytes().total()
+    }
+
+    fn shard_pressure(&self, _shard: usize) -> ShardPressure {
+        ShardPressure {
+            levels: self.table.max_level_depth() as u32,
+            segments: self.table.segment_count(),
+        }
+    }
+
+    fn maintain_shard(&mut self, _shard: usize) -> (MapCost, bool) {
+        // The background scheduler already decided this shard crossed
+        // its pressure threshold: compact now, regardless of the
+        // interval the inline `maintain` path is gated on.
+        if self.table.segment_count() == 0 {
+            return (MapCost::FREE, false);
+        }
+        self.table.compact();
+        (MapCost::FREE, true)
+    }
+
+    fn compact_cost_ns(&self, _shard: usize) -> u64 {
+        // The sweep trims every resident segment against the cumulative
+        // fresher claims; cost scales with the segment population.
+        COMPACT_BASE_NS + COMPACT_PER_SEGMENT_NS * self.table.segment_count() as u64
     }
 }
 

@@ -5,11 +5,16 @@
 //!
 //! * a virtual nanosecond clock with per-die parallelism ([`clock`]),
 //! * an NVMe-style multi-queue device front-end ([`Device`]): N host
-//!   submission queues plus internal GC traffic, a pluggable
-//!   [`Arbiter`] (round-robin / weighted / host-priority), background
-//!   GC with hard-floor back-pressure ([`GcMode`]), out-of-order
-//!   completion, and open-loop multi-stream replay ([`replay_queued`],
-//!   [`replay_open_loop`]),
+//!   submission queues plus internal background traffic (GC migrations
+//!   and translation-shard compactions), a pluggable [`Arbiter`]
+//!   (round-robin / weighted / host-priority), background GC with
+//!   hard-floor back-pressure ([`GcMode`]), scheduled background
+//!   compaction ([`CompactionMode`], [`CompactionScheduler`]),
+//!   out-of-order completion, and open-loop multi-stream replay
+//!   ([`replay_queued`], [`replay_open_loop`]),
+//! * per-shard translation-CPU timelines for sharded mapping schemes
+//!   ([`ShardedMapping`]): lookups serialise on their shard's CPU and
+//!   a background compaction sweep stalls only its own shard,
 //! * the controller DRAM split between mapping structures, write
 //!   buffer, and LRU data cache ([`SsdConfig`], [`DramPolicy`]),
 //! * the write path: buffering, LPA-sorted block-granular flushes
@@ -21,10 +26,11 @@
 //!   wear levelling, and crash recovery from mapping snapshots plus
 //!   OOB block scans (§3.8).
 //!
-//! FTL mapping schemes plug in through the [`MappingScheme`] trait:
-//! [`LeaFtlScheme`] adapts the learned table from `leaftl-core`;
-//! DFTL and SFTL live in `leaftl-baselines`; [`ExactPageMap`] is the
-//! in-DRAM oracle.
+//! FTL mapping schemes plug in through the [`MappingScheme`] trait
+//! (defined in `leaftl_core`, re-exported here): [`LeaFtlScheme`]
+//! adapts the learned table from `leaftl-core`; DFTL and SFTL live in
+//! `leaftl-baselines`; [`ExactPageMap`] is the in-DRAM oracle; any of
+//! them scale out behind a [`ShardedMapping`].
 //!
 //! ```
 //! use leaftl_core::LeaFtlConfig;
@@ -64,11 +70,13 @@ mod stats;
 pub mod validity;
 
 pub use arbiter::{Arbiter, ArbiterView, HostPriority, QueueView, RoundRobin, Source, Weighted};
-pub use config::{DramPolicy, GcMode, GcPolicy, SsdConfig};
-pub use device::{Device, DeviceConfig, GC_QUEUE};
+pub use config::{CompactionMode, DramPolicy, GcMode, GcPolicy, SsdConfig};
+pub use device::{CompactionScheduler, Device, DeviceConfig, COMPACT_QUEUE, GC_QUEUE};
 pub use error::SimError;
 pub use leaftl_scheme::LeaFtlScheme;
-pub use mapping::{ExactPageMap, MapCost, MappingLookup, MappingScheme};
+pub use mapping::{
+    ExactPageMap, MapCost, MappingLookup, MappingScheme, ShardPressure, ShardedMapping,
+};
 pub use replay::{
     replay, replay_open_loop, replay_open_loop_with, replay_queued, replay_queued_with, HostOp,
     QueuedReplayReport, ReplayReport, StreamLatency, TimedOp,

@@ -237,6 +237,9 @@ pub struct QueuedReplayReport {
     /// Background GC migrations the device dispatched during the
     /// replay (0 under synchronous GC).
     pub gc_dispatched: u64,
+    /// Background translation-shard compactions the device dispatched
+    /// during the replay (0 under inline compaction).
+    pub compact_dispatched: u64,
     /// Virtual time host writes spent blocked at the hard floor
     /// waiting for forced migrations (0 under synchronous GC).
     pub gc_stall_ns: u64,
@@ -325,20 +328,27 @@ where
     let mut per_stream: BTreeMap<u32, (LatencyHistogram, LatencyHistogram)> = BTreeMap::new();
     let mut last_complete = start_ns;
 
-    let (completions, gc_dispatched, gc_stall_ns) = {
+    let (completions, gc_dispatched, gc_stall_ns, compact_dispatched) = {
         let mut device = Device::new(ssd, config);
         for request in requests {
             let queue = queue_of(request.stream);
             device.submit_to(queue, request)?;
         }
+        // Every replay runs the backlog to completion — a device must
+        // never be dropped with host commands still pending.
         let completions = device.drain()?;
-        (completions, device.gc_dispatched(), device.gc_stall_ns())
+        (
+            completions,
+            device.gc_dispatched(),
+            device.gc_stall_ns(),
+            device.compact_dispatched(),
+        )
     };
     for completion in completions {
         match completion.kind() {
             IoKind::Read => pages_read += 1,
             IoKind::Write => pages_written += 1,
-            IoKind::Flush | IoKind::GcMigrate => continue,
+            IoKind::Flush | IoKind::GcMigrate | IoKind::Compact => continue,
         }
         // Open-loop requests have real arrival times, so their latency
         // includes queueing delay; closed-loop requests are "issued"
@@ -374,6 +384,7 @@ where
             .collect(),
         gc_dispatched,
         gc_stall_ns,
+        compact_dispatched,
         stats: ssd.stats().clone(),
     })
 }

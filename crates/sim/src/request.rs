@@ -39,6 +39,15 @@ pub enum Command {
         /// The victim block.
         victim: BlockId,
     },
+    /// Compact one translation shard's learned structures — internal
+    /// background traffic emitted by the device's compaction scheduler
+    /// ([`crate::CompactionMode::Background`]), never host-submittable.
+    /// Its CPU sweep occupies the shard's translation-CPU timeline, so
+    /// concurrent lookups routed to that shard wait for it.
+    Compact {
+        /// The translation shard to compact.
+        shard: usize,
+    },
 }
 
 /// Coarse command classification (reporting and dispatch decisions).
@@ -52,6 +61,8 @@ pub enum IoKind {
     Flush,
     /// A background GC migration.
     GcMigrate,
+    /// A background translation-shard compaction.
+    Compact,
 }
 
 impl Command {
@@ -62,6 +73,7 @@ impl Command {
             Command::Write { .. } => IoKind::Write,
             Command::Flush => IoKind::Flush,
             Command::GcMigrate { .. } => IoKind::GcMigrate,
+            Command::Compact { .. } => IoKind::Compact,
         }
     }
 
@@ -69,7 +81,7 @@ impl Command {
     pub fn lpa(&self) -> Option<Lpa> {
         match *self {
             Command::Read { lpa } | Command::Write { lpa, .. } => Some(lpa),
-            Command::Flush | Command::GcMigrate { .. } => None,
+            Command::Flush | Command::GcMigrate { .. } | Command::Compact { .. } => None,
         }
     }
 
@@ -232,6 +244,10 @@ mod tests {
         assert_eq!(gc.kind(), IoKind::GcMigrate);
         assert_eq!(gc.lpa(), None);
         assert_eq!(Command::Flush.lpa(), None);
+        let compact = Command::Compact { shard: 2 };
+        assert!(!compact.consumes_blocks());
+        assert_eq!(compact.kind(), IoKind::Compact);
+        assert_eq!(compact.lpa(), None);
     }
 
     #[test]

@@ -4,10 +4,10 @@
 use crate::allocator::{BlockAllocator, Stream};
 use crate::buffer::WriteBuffer;
 use crate::clock::SimClock;
-use crate::config::{GcMode, GcPolicy, SsdConfig};
+use crate::config::{CompactionMode, GcMode, GcPolicy, SsdConfig};
 use crate::error::SimError;
 use crate::lru::LruCache;
-use crate::mapping::{MapCost, MappingLookup, MappingScheme};
+use crate::mapping::{MapCost, MappingLookup, MappingScheme, ShardPressure};
 use crate::stats::SimStats;
 use crate::validity::Validity;
 use leaftl_flash::{BlockId, Die, FlashDevice, Lpa, Ppa};
@@ -93,6 +93,18 @@ pub struct Ssd<S: MappingScheme + Clone> {
     /// Whether GC runs synchronously inside the flush path or is left
     /// to the [`crate::Device`] as background traffic.
     gc_mode: GcMode,
+    /// Whether learned-table compaction runs inline in the flush path
+    /// or as scheduled [`crate::Command::Compact`] device traffic.
+    compaction_mode: CompactionMode,
+    /// Per-translation-shard CPU availability: one timeline entry per
+    /// scheme shard. A lookup occupies its shard's CPU for the lookup's
+    /// CPU cost, and a background compaction occupies it for the whole
+    /// sweep — so with one shard a compaction stalls every concurrent
+    /// translation, while N shards only stall their own range. In the
+    /// blocking queue-depth-1 regime the CPU is always idle by the time
+    /// the next request arrives, which keeps the legacy path
+    /// cycle-exact.
+    shard_cpu_ready_ns: Vec<u64>,
 }
 
 impl<S: MappingScheme + Clone> Ssd<S> {
@@ -107,6 +119,7 @@ impl<S: MappingScheme + Clone> Ssd<S> {
         config.validate();
         scheme.set_memory_budget(config.mapping_budget());
         let pristine_scheme = scheme.clone();
+        let shard_count = scheme.shard_count().max(1);
         Ssd {
             device: FlashDevice::with_timing(config.geometry, config.timing),
             clock: SimClock::new(config.geometry.total_dies()),
@@ -121,6 +134,8 @@ impl<S: MappingScheme + Clone> Ssd<S> {
             flush_deadline_ns: 0,
             block_last_write_ns: vec![0; config.geometry.blocks as usize],
             gc_mode: GcMode::Synchronous,
+            compaction_mode: CompactionMode::Inline,
+            shard_cpu_ready_ns: vec![0; shard_count],
             config,
         }
     }
@@ -137,6 +152,35 @@ impl<S: MappingScheme + Clone> Ssd<S> {
     /// degrades to emergency allocation-failure collection only.
     pub fn set_gc_mode(&mut self, mode: GcMode) {
         self.gc_mode = mode;
+    }
+
+    /// The current compaction scheduling mode.
+    pub fn compaction_mode(&self) -> CompactionMode {
+        self.compaction_mode
+    }
+
+    /// Switches learned-table compaction between the inline flush-path
+    /// pass and scheduled background device traffic. In
+    /// [`CompactionMode::Background`] the flush path no longer calls
+    /// [`MappingScheme::maintain`] — something (the [`crate::Device`]'s
+    /// compaction scheduler) must dispatch [`crate::Command::Compact`]
+    /// commands, or shadowed segments accumulate unreclaimed.
+    pub fn set_compaction_mode(&mut self, mode: CompactionMode) {
+        self.compaction_mode = mode;
+    }
+
+    /// Number of independent translation shards the mapping scheme
+    /// exposes (1 for monolithic schemes).
+    pub fn shard_count(&self) -> usize {
+        self.shard_cpu_ready_ns.len()
+    }
+
+    /// Structural compaction pressure of one translation shard (the
+    /// background compaction scheduler's trigger signal). Out-of-range
+    /// indices clamp to the last shard, like every shard-indexed path.
+    pub fn shard_pressure(&self, shard: usize) -> ShardPressure {
+        self.scheme
+            .shard_pressure(shard.min(self.shard_cpu_ready_ns.len() - 1))
     }
 
     /// The device configuration.
@@ -381,10 +425,22 @@ impl<S: MappingScheme + Clone> Ssd<S> {
             self.stats.read_latency.record(ready - started);
             return Ok((None, ready));
         };
-        // Mapping-table CPU cost, serial within the request.
+        // Mapping-table CPU cost: serial within the request *and*
+        // serialised on the target shard's translation CPU — concurrent
+        // lookups routed to one shard queue behind each other (and
+        // behind an in-flight background compaction of that shard),
+        // while lookups on other shards proceed unimpeded. At queue
+        // depth 1 the shard CPU is always idle by dispatch time, so
+        // this degenerates to the legacy `ready += cpu_ns`.
         let cpu_ns = self.config.lookup_base_ns
             + self.config.lookup_per_level_ns * hit.levels_visited.saturating_sub(1) as u64;
-        ready += cpu_ns;
+        let shard = self
+            .scheme
+            .shard_of(lpa)
+            .min(self.shard_cpu_ready_ns.len() - 1);
+        let cpu_done = ready.max(self.shard_cpu_ready_ns[shard]) + cpu_ns;
+        self.shard_cpu_ready_ns[shard] = cpu_done;
+        ready = cpu_done;
         self.stats.lookup_cpu_ns += cpu_ns;
         self.stats.lookups += 1;
         self.stats.record_lookup_levels(hit.levels_visited);
@@ -608,10 +664,15 @@ impl<S: MappingScheme + Clone> Ssd<S> {
         }
         self.enforce_cache_capacity();
 
-        let (cost, compacted) = self.scheme.maintain();
-        self.charge_map_cost(Lpa::new(0), cost);
-        if compacted {
-            self.stats.compactions += 1;
+        // Background mode promotes compaction to scheduled device
+        // traffic ([`crate::Command::Compact`]); the flush path then
+        // leaves the learned table alone.
+        if self.compaction_mode == CompactionMode::Inline {
+            let (cost, compacted) = self.scheme.maintain();
+            self.charge_map_cost(Lpa::new(0), cost);
+            if compacted {
+                self.stats.compactions += 1;
+            }
         }
         // Background mode leaves watermark GC to the device front-end;
         // wear levelling stays synchronous in both modes (rare, and its
@@ -927,6 +988,27 @@ impl<S: MappingScheme + Clone> Ssd<S> {
         // Persist mapping table + BVC at GC time (§3.8), as the
         // synchronous pass does.
         self.take_snapshot();
+        Ok(done)
+    }
+
+    /// Services one background compaction ([`crate::Command::Compact`])
+    /// of translation shard `shard`: the shard's learned structures are
+    /// compacted immediately (the simulation fiction — state at
+    /// dispatch), and the sweep's CPU cost occupies the shard's
+    /// translation-CPU timeline, so concurrent lookups routed to that
+    /// shard wait for it. Returns the sweep's completion time; the
+    /// global clock does not move.
+    pub(crate) fn service_compact(&mut self, shard: usize) -> Result<u64, SimError> {
+        let shard = shard.min(self.shard_cpu_ready_ns.len() - 1);
+        let sweep_ns = self.scheme.compact_cost_ns(shard);
+        let (cost, compacted) = self.scheme.maintain_shard(shard);
+        self.charge_map_cost_background(Lpa::new(0), cost);
+        if compacted {
+            self.stats.compactions += 1;
+        }
+        let start = self.clock.now_ns().max(self.shard_cpu_ready_ns[shard]);
+        let done = start + sweep_ns;
+        self.shard_cpu_ready_ns[shard] = done;
         Ok(done)
     }
 

@@ -123,7 +123,9 @@ where
             Some((IoKind::Read, lpa, _)) => {
                 blocking_reads.push(blocking.read(Lpa::new(lpa)).expect("read"));
             }
-            Some((IoKind::Flush | IoKind::GcMigrate, ..)) => unreachable!("host ops only"),
+            Some((IoKind::Flush | IoKind::GcMigrate | IoKind::Compact, ..)) => {
+                unreachable!("host ops only")
+            }
             None => blocking.flush().expect("flush"),
         }
     }
@@ -150,7 +152,9 @@ where
                 match kind {
                     IoKind::Write => device.submit_write(Lpa::new(lpa), content).expect("write"),
                     IoKind::Read => device.submit_read(Lpa::new(lpa)).expect("read"),
-                    IoKind::Flush | IoKind::GcMigrate => unreachable!("host ops only"),
+                    IoKind::Flush | IoKind::GcMigrate | IoKind::Compact => {
+                        unreachable!("host ops only")
+                    }
                 };
             }
             let mut completions = device.drain().expect("drain");
@@ -217,7 +221,9 @@ where
             (IoKind::Read, lpa, _) => {
                 blocking.read(Lpa::new(lpa)).expect("read");
             }
-            (IoKind::Flush | IoKind::GcMigrate, ..) => unreachable!("host ops only"),
+            (IoKind::Flush | IoKind::GcMigrate | IoKind::Compact, ..) => {
+                unreachable!("host ops only")
+            }
         }
     }
 
@@ -239,7 +245,9 @@ where
                 (IoKind::Read, lpa, _) => {
                     device.submit_read(Lpa::new(lpa)).expect("read");
                 }
-                (IoKind::Flush | IoKind::GcMigrate, ..) => unreachable!("host ops only"),
+                (IoKind::Flush | IoKind::GcMigrate | IoKind::Compact, ..) => {
+                    unreachable!("host ops only")
+                }
             }
         }
         device.drain().expect("drain");
