@@ -4,12 +4,14 @@
 //! Three axes:
 //!
 //! * **Small bursts (32)** — the per-dispatch burst of a QD=32 device:
-//!   stays on the sequential fan-out path. Routing + merge overhead is
-//!   near zero, but sharding still wins here because the demand-paging
-//!   residency check walks the table's groups (`memory_bytes` is
-//!   O(groups)) and each shard only walks its own slice — the
-//!   single-`&mut` table pays that accounting across the whole table
-//!   per address.
+//!   stays on the sequential fan-out path, so this axis measures pure
+//!   routing + merge overhead. Historically sharding "won" at this
+//!   burst size only because the demand-paging residency check walked
+//!   every group (`memory_bytes` was O(groups)) and each shard walked
+//!   just its slice; with the incremental accounting that check is
+//!   O(1) for any table size (see `table_micro`), the artifact is
+//!   gone, and 1-shard vs 8-shard small-burst costs sit close
+//!   together.
 //! * **Large bursts (4096)** — above the parallel threshold: one
 //!   thread per shard, the raw batch-translation scaling number.
 //! * **Sorted flush splitting** — `update_batch_sorted` boundary

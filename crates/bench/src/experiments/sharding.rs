@@ -54,15 +54,14 @@ fn sharded_config(scale: &Scale) -> SsdConfig {
 fn warmed(shards: usize, scale: &Scale) -> Ssd<ShardedMapping<LeaFtlScheme>> {
     let config = sharded_config(scale);
     let logical = config.logical_pages();
-    // Each shard counts only its own writes, so the inline interval is
-    // divided across shards to keep the device-wide compaction cadence
-    // comparable at every shard count.
-    let interval = (scale.compaction_interval / shards as u64).max(1);
+    // `ShardedMapping` credits every shard with its siblings' writes
+    // (`note_sibling_writes`), so the inline interval is device-wide at
+    // any shard count — no manual division needed.
     let scheme = ShardedMapping::new(shards, logical, |_| {
         LeaFtlScheme::new(
             LeaFtlConfig::default()
                 .with_gamma(GAMMA)
-                .with_compaction_interval(interval),
+                .with_compaction_interval(scale.compaction_interval),
         )
     });
     let mut ssd = Ssd::new(config, scheme);

@@ -64,6 +64,10 @@ impl Run {
 #[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct Crb {
     runs: Vec<Run>,
+    /// Live count of member offsets across all runs, maintained on every
+    /// mutation so [`Crb::byte_size`] / [`Crb::total_members`] never walk
+    /// the runs ([`Crb::recount_members`] is the test oracle).
+    member_total: usize,
 }
 
 impl Crb {
@@ -99,6 +103,7 @@ impl Crb {
             if run.members.len() == before {
                 continue;
             }
+            self.member_total -= before - run.members.len();
             if run.members.is_empty() {
                 emptied.push(idx);
                 patches.push(CrbPatch::Remove { start: old_start });
@@ -116,6 +121,7 @@ impl Crb {
         let run = Run {
             members: members.to_vec(),
         };
+        self.member_total += run.members.len();
         debug_assert!(
             self.runs.iter().all(|r| r.start() != run.start()),
             "run start {} already present after dedup",
@@ -162,11 +168,13 @@ impl Crb {
             .runs
             .binary_search_by_key(&old_start, |r| r.start())
             .unwrap_or_else(|_| panic!("no crb run starts at {old_start}"));
+        self.member_total -= self.runs[idx].members.len();
         if remaining.is_empty() {
             self.runs.remove(idx);
             return;
         }
         debug_assert!(remaining.windows(2).all(|w| w[0] < w[1]));
+        self.member_total += remaining.len();
         self.runs[idx].members = remaining;
         // Trimming the head can reorder interleaved runs; restore start
         // order so binary searches stay sound.
@@ -177,18 +185,26 @@ impl Crb {
     /// Removes the run starting at `start`, if present.
     pub fn remove_run(&mut self, start: u8) {
         if let Ok(idx) = self.runs.binary_search_by_key(&start, |r| r.start()) {
+            self.member_total -= self.runs[idx].members.len();
             self.runs.remove(idx);
         }
     }
 
     /// Total bytes: one per member plus one null separator per run
-    /// (paper Fig. 10 accounting).
+    /// (paper Fig. 10 accounting). O(1) — served from the live counter.
     pub fn byte_size(&self) -> usize {
-        self.total_members() + self.runs.len()
+        self.member_total + self.runs.len()
     }
 
-    /// Number of member offsets stored across all runs.
+    /// Number of member offsets stored across all runs. O(1).
     pub fn total_members(&self) -> usize {
+        self.member_total
+    }
+
+    /// Recounts the members with a full walk over the runs — the test
+    /// oracle the incremental [`Crb::total_members`] counter is proved
+    /// against.
+    pub fn recount_members(&self) -> usize {
         self.runs.iter().map(|r| r.members.len()).sum()
     }
 
@@ -314,5 +330,23 @@ mod tests {
     fn rejects_unsorted_run() {
         let mut crb = Crb::new();
         crb.insert_run(&[3, 1]);
+    }
+
+    #[test]
+    fn member_counter_tracks_every_mutation() {
+        let mut crb = Crb::new();
+        crb.insert_run(&[0, 50, 100]);
+        crb.insert_run(&[25, 50, 75]); // dedups 50 from the first run
+        assert_eq!(crb.total_members(), crb.recount_members());
+        crb.insert_run(&[0, 25]); // reheads both older runs
+        assert_eq!(crb.total_members(), crb.recount_members());
+        crb.replace_run(50, vec![75]);
+        assert_eq!(crb.total_members(), crb.recount_members());
+        crb.replace_run(100, vec![]);
+        assert_eq!(crb.total_members(), crb.recount_members());
+        crb.remove_run(0);
+        crb.remove_run(0); // idempotent: must not double-subtract
+        assert_eq!(crb.total_members(), crb.recount_members());
+        assert_eq!(crb.byte_size(), crb.recount_members() + crb.run_count());
     }
 }

@@ -86,6 +86,11 @@ enum MergeOutcome {
 pub struct Group {
     levels: Vec<Level>,
     crb: Crb,
+    /// Live segment count across all levels, maintained on every
+    /// insert/remove so [`Group::segment_count`] — polled by the table's
+    /// aggregate counters on every mutation — never walks the levels
+    /// ([`Group::recount_segments`] is the test oracle).
+    segment_total: usize,
 }
 
 impl Group {
@@ -99,14 +104,29 @@ impl Group {
         self.levels.len()
     }
 
-    /// Total number of segments across all levels.
+    /// Total number of segments across all levels. O(1) — served from
+    /// the live counter.
     pub fn segment_count(&self) -> usize {
+        self.segment_total
+    }
+
+    /// Recounts the segments with a full walk over the levels — the
+    /// test oracle the incremental [`Group::segment_count`] counter is
+    /// proved against.
+    pub fn recount_segments(&self) -> usize {
         self.levels.iter().map(Level::len).sum()
     }
 
-    /// CRB footprint in bytes (members + separators, Fig. 10).
+    /// CRB footprint in bytes (members + separators, Fig. 10). O(1).
     pub fn crb_bytes(&self) -> usize {
         self.crb.byte_size()
+    }
+
+    /// DRAM footprint of this group: 8 B per segment plus the CRB
+    /// bytes — the per-group unit the table's incremental accounting
+    /// and the demand-paging cache charge. O(1).
+    pub fn byte_size(&self) -> usize {
+        self.segment_total * Segment::ENCODED_BYTES + self.crb.byte_size()
     }
 
     /// Read access to the group's CRB.
@@ -195,6 +215,9 @@ impl Group {
                         }
                     }
                     debug_assert!(found, "crb removal of {start} found no segment");
+                    if found {
+                        self.segment_total -= 1;
+                    }
                 }
             }
         }
@@ -214,17 +237,21 @@ impl Group {
             match self.merge_victim(&victim, members) {
                 MergeOutcome::Removed => {
                     self.levels[level_idx].remove(idx);
+                    self.segment_total -= 1;
                 }
                 MergeOutcome::Kept { new_start, new_len } => {
                     let stored = self.levels[level_idx].segment_mut(idx);
                     stored.set_interval(new_start, new_len);
                     if segment.overlaps(stored) {
+                        // Popped victims re-enter via `place_below`:
+                        // net zero for the segment counter.
                         popped.push(self.levels[level_idx].remove(idx));
                     }
                 }
             }
         }
         self.levels[level_idx].insert(segment);
+        self.segment_total += 1;
         // Victims were collected right-to-left; restore start order so
         // they land in a shared level deterministically.
         for victim in popped.into_iter().rev() {
@@ -334,6 +361,7 @@ impl Group {
                 }
             }
         }
+        self.segment_total = kept.len();
         for segment in kept {
             // Must sit strictly below every (fresher) segment already
             // placed that it overlaps, i.e. just past the last

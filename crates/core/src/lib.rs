@@ -82,5 +82,5 @@ pub use scheme::{ExactPageMap, MapCost, MappingLookup, MappingScheme, ShardPress
 pub use segment::Segment;
 pub use shards::ShardedMapping;
 pub use stats::{percentile, MemoryBreakdown, TableStats};
-pub use table::{LeaFtlTable, LookupResult};
+pub use table::{LeaFtlTable, LookupResult, TableWalk};
 pub use validate::InvariantViolation;

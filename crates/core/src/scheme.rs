@@ -147,6 +147,17 @@ pub trait MappingScheme {
     /// plus whether a compaction ran.
     fn maintain(&mut self) -> (MapCost, bool);
 
+    /// Credits `writes` mappings that a sharded service routed to
+    /// *sibling* shards, so interval-gated maintenance fires at the
+    /// device-wide write rate instead of the shard-local one (a shard
+    /// seeing 1/N of the traffic would otherwise compact N× less
+    /// often). Called by [`crate::shards::ShardedMapping`] after every
+    /// multi-shard batch; schemes without interval-gated maintenance
+    /// ignore it (the default).
+    fn note_sibling_writes(&mut self, writes: u64) {
+        let _ = writes;
+    }
+
     /// CPU nanoseconds a batch learn costs (0 for table-update schemes;
     /// LeaFTL charges ~10 µs per 256 mappings, Table 3).
     fn learn_cost_ns(&self, batch_len: usize) -> u64 {

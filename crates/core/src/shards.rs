@@ -20,9 +20,12 @@
 //! groups as the unsharded one — lookups, post-compaction segment
 //! counts and memory bytes are identical for any shard count, and a
 //! 1-shard service forwards every call verbatim (state-identical,
-//! pinned by the `sharding_equivalence` proptests). Only *when*
-//! interval-gated maintenance fires differs for N > 1, since each
-//! shard counts its own writes.
+//! pinned by the `sharding_equivalence` proptests). Interval-gated
+//! maintenance keeps the device-wide cadence at every shard count:
+//! after each multi-shard batch, every shard is credited the writes
+//! its siblings absorbed ([`MappingScheme::note_sibling_writes`]), so
+//! a shard seeing 1/N of the traffic still compacts on the device's
+//! write interval rather than N× less often.
 //!
 //! # Parallel fan-out
 //!
@@ -61,6 +64,11 @@ pub struct ShardedMapping<S> {
     /// group straddles two shards. LPAs at or beyond
     /// `span × shard_count` route to the last shard.
     span: u64,
+    /// Number of leading shards an in-range LPA can actually route to.
+    /// Rounding the span up to a group boundary can leave trailing
+    /// shards permanently unroutable at small capacities; the DRAM
+    /// budget is divided across the routable shards only.
+    routable: usize,
 }
 
 impl<S> ShardedMapping<S> {
@@ -73,15 +81,26 @@ impl<S> ShardedMapping<S> {
         let count = shards.max(1);
         let raw_span = capacity_lpas.div_ceil(count as u64).max(1);
         let span = raw_span.div_ceil(Lpa::GROUP_SIZE) * Lpa::GROUP_SIZE;
+        // Highest shard index an in-range LPA reaches, plus one: the
+        // group-aligned span can overshoot `capacity / count`, leaving
+        // trailing shards with an empty range.
+        let routable = ((capacity_lpas.saturating_sub(1) / span) as usize + 1).min(count);
         ShardedMapping {
             shards: (0..count).map(&mut build).collect(),
             span,
+            routable,
         }
     }
 
     /// LPAs per shard (group-aligned).
     pub fn shard_span(&self) -> u64 {
         self.span
+    }
+
+    /// Number of leading shards in-range LPAs can route to (trailing
+    /// shards beyond this hold no state and receive no budget).
+    pub fn routable_shards(&self) -> usize {
+        self.routable
     }
 
     /// Read access to one shard's inner scheme.
@@ -133,6 +152,13 @@ impl<S: MappingScheme + Send> MappingScheme for ShardedMapping<S> {
             if !batch.is_empty() {
                 cost.add(shard.update_batch(batch));
             }
+            // Each shard sees only its slice of the device's writes;
+            // credit the rest so interval-gated maintenance keeps the
+            // device-wide cadence at every shard count.
+            let siblings = (pairs.len() - batch.len()) as u64;
+            if siblings > 0 {
+                shard.note_sibling_writes(siblings);
+            }
         }
         cost
     }
@@ -144,6 +170,7 @@ impl<S: MappingScheme + Send> MappingScheme for ShardedMapping<S> {
         // Sorted input means shard ids are non-decreasing: split into
         // contiguous runs at shard boundaries, no copying.
         let mut cost = MapCost::FREE;
+        let mut own: Vec<usize> = vec![0; self.shards.len()];
         let mut start = 0usize;
         while start < pairs.len() {
             let shard = self.route(pairs[start].0);
@@ -151,8 +178,17 @@ impl<S: MappingScheme + Send> MappingScheme for ShardedMapping<S> {
             while end < pairs.len() && self.route(pairs[end].0) == shard {
                 end += 1;
             }
+            own[shard] += end - start;
             cost.add(self.shards[shard].update_batch_sorted(&pairs[start..end]));
             start = end;
+        }
+        // Device-wide maintenance cadence: every shard's interval
+        // counter advances with every device write, not just its own.
+        for (shard, own) in self.shards.iter_mut().zip(own) {
+            let siblings = (pairs.len() - own) as u64;
+            if siblings > 0 {
+                shard.note_sibling_writes(siblings);
+            }
         }
         cost
     }
@@ -224,12 +260,21 @@ impl<S: MappingScheme + Send> MappingScheme for ShardedMapping<S> {
     }
 
     fn set_memory_budget(&mut self, bytes: usize) {
-        // Even split: the §3.1 bound then holds shard-locally (each
-        // shard against its slice of the budget) and globally (the
-        // slices sum to the device budget).
-        let per_shard = (bytes / self.shards.len()).max(1);
-        for shard in &mut self.shards {
-            shard.set_memory_budget(per_shard);
+        // Even split across the *routable* shards only: the §3.1 bound
+        // then holds shard-locally (each shard against its slice) and
+        // globally (the slices sum to the device budget — the division
+        // remainder is spread one byte each over the leading shards
+        // instead of dropped). Unroutable trailing shards never hold
+        // state and get a token 1-byte budget.
+        let per_shard = bytes / self.routable;
+        let remainder = bytes % self.routable;
+        for (index, shard) in self.shards.iter_mut().enumerate() {
+            let slice = if index < self.routable {
+                per_shard + usize::from(index < remainder)
+            } else {
+                0
+            };
+            shard.set_memory_budget(slice.max(1));
         }
     }
 
@@ -374,5 +419,87 @@ mod tests {
         assert_eq!(sharded.memory_bytes(), 1024 * 8);
         sharded.set_memory_budget(1 << 20); // no-op for ExactPageMap
         assert!(sharded.lookup_is_pure());
+    }
+
+    /// Records the budget each shard was handed.
+    #[derive(Debug, Clone, Default)]
+    struct BudgetProbe {
+        budget: usize,
+        sibling_writes: u64,
+        own_writes: u64,
+    }
+
+    impl MappingScheme for BudgetProbe {
+        fn name(&self) -> &'static str {
+            "probe"
+        }
+        fn update_batch(&mut self, pairs: &[(Lpa, Ppa)]) -> MapCost {
+            self.own_writes += pairs.len() as u64;
+            MapCost::FREE
+        }
+        fn lookup(&mut self, _lpa: Lpa) -> (Option<MappingLookup>, MapCost) {
+            (None, MapCost::FREE)
+        }
+        fn memory_bytes(&self) -> usize {
+            0
+        }
+        fn set_memory_budget(&mut self, bytes: usize) {
+            self.budget = bytes;
+        }
+        fn maintain(&mut self) -> (MapCost, bool) {
+            (MapCost::FREE, false)
+        }
+        fn note_sibling_writes(&mut self, writes: u64) {
+            self.sibling_writes += writes;
+        }
+    }
+
+    #[test]
+    fn budget_splits_across_routable_shards_with_remainder() {
+        // capacity 1000 over 8 shards: span rounds up to 256, so only
+        // shards 0..=3 are routable; 4..=7 can never receive an
+        // in-range LPA.
+        let mut sharded = ShardedMapping::new(8, 1000, |_| BudgetProbe::default());
+        assert_eq!(sharded.shard_span(), 256);
+        assert_eq!(sharded.routable_shards(), 4);
+        sharded.set_memory_budget(1003);
+        let budgets: Vec<usize> = sharded.shards().map(|s| s.budget).collect();
+        // 1003 = 4×250 + 3: the remainder lands on the leading shards,
+        // unroutable shards get the token minimum.
+        assert_eq!(budgets, vec![251, 251, 251, 250, 1, 1, 1, 1]);
+        let routable_total: usize = budgets[..4].iter().sum();
+        assert_eq!(routable_total, 1003, "no byte of the budget is lost");
+    }
+
+    #[test]
+    fn exact_capacity_keeps_every_shard_routable() {
+        let mut sharded = ShardedMapping::new(4, 4096, |_| BudgetProbe::default());
+        assert_eq!(sharded.routable_shards(), 4);
+        sharded.set_memory_budget(4 * 4096 + 2);
+        let budgets: Vec<usize> = sharded.shards().map(|s| s.budget).collect();
+        assert_eq!(budgets, vec![4097, 4097, 4096, 4096]);
+    }
+
+    #[test]
+    fn sibling_writes_keep_device_wide_cadence() {
+        // 1024 writes spread over 4 shards: every shard must observe
+        // the full device write count (own + sibling credit).
+        let batch = pairs(0..1024, 5000);
+        let mut unsorted = ShardedMapping::new(4, 1024, |_| BudgetProbe::default());
+        unsorted.update_batch(&batch);
+        for shard in unsorted.shards() {
+            assert_eq!(shard.own_writes + shard.sibling_writes, 1024);
+            assert!(shard.own_writes > 0, "the batch spans every shard");
+        }
+        let mut sorted = ShardedMapping::new(4, 1024, |_| BudgetProbe::default());
+        sorted.update_batch_sorted(&batch);
+        for shard in sorted.shards() {
+            assert_eq!(shard.own_writes + shard.sibling_writes, 1024);
+        }
+        // The 1-shard fast path stays verbatim: no sibling credit.
+        let mut single = ShardedMapping::new(1, 1024, |_| BudgetProbe::default());
+        single.update_batch(&batch);
+        assert_eq!(single.shard(0).sibling_writes, 0);
+        assert_eq!(single.shard(0).own_writes, 1024);
     }
 }

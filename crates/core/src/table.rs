@@ -51,6 +51,82 @@ pub struct LeaFtlTable {
     writes_since_compaction: u64,
     total_writes_learned: u64,
     compactions: u64,
+    /// Live aggregate counters, folded forward from per-group deltas on
+    /// every learn/compact so the §3.1 footprint and pressure queries
+    /// never walk the groups.
+    accounting: Accounting,
+}
+
+/// The table's incremental aggregate counters. A separate struct so
+/// deltas can be applied while `groups` is mutably borrowed (disjoint
+/// field borrows).
+#[derive(Debug, Clone, Default)]
+struct Accounting {
+    /// Total learned segments across all groups.
+    segments: usize,
+    /// Total CRB bytes across all groups.
+    crb_bytes: usize,
+    /// `depth_histogram[d]` = number of groups whose level stack is `d`
+    /// deep (`d ≥ 1`; empty groups are never tracked). Lets
+    /// [`LeaFtlTable::max_level_depth`] answer in O(1) and absorb
+    /// deepest-group compactions without a rescan.
+    depth_histogram: Vec<usize>,
+    /// Cached maximum depth: the highest `d` with a non-zero histogram
+    /// bucket (0 when no groups exist).
+    max_depth: usize,
+}
+
+/// One group's O(1) counter snapshot: (segments, CRB bytes, levels).
+type GroupCounters = (usize, usize, usize);
+
+impl Accounting {
+    /// Captures one group's counters before or after a mutation.
+    fn snapshot(group: &Group) -> GroupCounters {
+        (
+            group.segment_count(),
+            group.crb_bytes(),
+            group.level_count(),
+        )
+    }
+
+    /// Folds one group's before→after counter change into the
+    /// aggregates. Amortised O(1): the max-depth rescan only walks
+    /// histogram buckets just emptied by the deepest group shrinking.
+    fn apply(&mut self, before: GroupCounters, after: GroupCounters) {
+        let (seg_b, crb_b, depth_b) = before;
+        let (seg_a, crb_a, depth_a) = after;
+        self.segments = self.segments - seg_b + seg_a;
+        self.crb_bytes = self.crb_bytes - crb_b + crb_a;
+        if depth_b == depth_a {
+            return;
+        }
+        if depth_b > 0 {
+            self.depth_histogram[depth_b] -= 1;
+        }
+        if depth_a > 0 {
+            if self.depth_histogram.len() <= depth_a {
+                self.depth_histogram.resize(depth_a + 1, 0);
+            }
+            self.depth_histogram[depth_a] += 1;
+            self.max_depth = self.max_depth.max(depth_a);
+        }
+        while self.max_depth > 0 && self.depth_histogram[self.max_depth] == 0 {
+            self.max_depth -= 1;
+        }
+    }
+}
+
+/// A from-scratch recomputation of every incremental table counter —
+/// the oracle the live accounting is proved equal to (see the
+/// `accounting_equivalence` proptests).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TableWalk {
+    /// Memory footprint re-summed over every group.
+    pub memory: MemoryBreakdown,
+    /// Segment count re-summed over every group.
+    pub segments: usize,
+    /// Deepest level stack re-maxed over every group.
+    pub max_level_depth: usize,
 }
 
 impl LeaFtlTable {
@@ -62,6 +138,7 @@ impl LeaFtlTable {
             writes_since_compaction: 0,
             total_writes_learned: 0,
             compactions: 0,
+            accounting: Accounting::default(),
         }
     }
 
@@ -140,9 +217,12 @@ impl LeaFtlTable {
                 .map(|&(lpa, ppa)| (lpa.group_offset(), ppa.raw()))
                 .collect();
             let group = self.groups.entry(group_id).or_default();
+            let before = Accounting::snapshot(group);
             for piece in plr::fit(&points, gamma) {
                 group.insert_piece(&piece);
             }
+            let after = Accounting::snapshot(group);
+            self.accounting.apply(before, after);
             start = end;
         }
     }
@@ -205,8 +285,15 @@ impl LeaFtlTable {
     /// memory from shadowed segments.
     pub fn compact(&mut self) {
         for group in self.groups.values_mut() {
+            let before = Accounting::snapshot(group);
             group.compact();
+            let after = Accounting::snapshot(group);
+            // Disjoint field borrow: `accounting` is independent of the
+            // iterated `groups` map.
+            self.accounting.apply(before, after);
         }
+        // Emptied groups already folded a delta down to (0, 0, 0);
+        // dropping them changes no counter.
         self.groups.retain(|_, group| group.segment_count() > 0);
         self.writes_since_compaction = 0;
         self.compactions += 1;
@@ -234,9 +321,10 @@ impl LeaFtlTable {
         self.total_writes_learned
     }
 
-    /// Total learned segments across all groups.
+    /// Total learned segments across all groups. O(1) — served from the
+    /// incremental aggregate, never a group walk.
     pub fn segment_count(&self) -> usize {
-        self.groups.values().map(Group::segment_count).sum()
+        self.accounting.segments
     }
 
     /// Number of non-empty groups.
@@ -247,21 +335,75 @@ impl LeaFtlTable {
     /// Deepest log-structured level stack across all groups — the
     /// lookup-cost half of the compaction-pressure signal a background
     /// compaction scheduler polls (the other half is
-    /// [`LeaFtlTable::segment_count`]).
+    /// [`LeaFtlTable::segment_count`]). O(1) — served from the depth
+    /// histogram.
     pub fn max_level_depth(&self) -> usize {
-        self.groups
-            .values()
-            .map(Group::level_count)
-            .max()
-            .unwrap_or(0)
+        self.accounting.max_depth
     }
 
     /// Memory footprint: 8 B per segment + CRB bytes (paper accounting).
+    /// O(1) — served from the incremental aggregates; this is queried on
+    /// every translation (demand-paging residency checks, data-cache
+    /// sizing), so it must not scale with the group count.
     pub fn memory_bytes(&self) -> MemoryBreakdown {
         MemoryBreakdown {
-            segment_bytes: self.segment_count() * Segment::ENCODED_BYTES,
-            crb_bytes: self.groups.values().map(Group::crb_bytes).sum(),
+            segment_bytes: self.accounting.segments * Segment::ENCODED_BYTES,
+            crb_bytes: self.accounting.crb_bytes,
         }
+    }
+
+    /// Exact DRAM footprint of one 256-LPA group (0 when the group holds
+    /// nothing) — the per-group unit demand paging charges when the
+    /// group is fetched or written back. O(1) per call.
+    pub fn group_bytes(&self, group: u64) -> usize {
+        self.groups.get(&group).map_or(0, Group::byte_size)
+    }
+
+    /// Iterates the ids of all non-empty groups (ascending).
+    pub fn group_ids(&self) -> impl Iterator<Item = u64> + '_ {
+        self.groups.keys().copied()
+    }
+
+    /// Recomputes every incremental counter with a full from-scratch
+    /// walk over groups, levels and CRB runs — the oracle the live
+    /// accounting is proved equal to under the `accounting_equivalence`
+    /// proptests. O(table); never called on a translation path.
+    pub fn recompute_walk(&self) -> TableWalk {
+        let mut segments = 0usize;
+        let mut crb_bytes = 0usize;
+        let mut max_level_depth = 0usize;
+        for group in self.groups.values() {
+            segments += group.recount_segments();
+            crb_bytes += group.crb().recount_members() + group.crb().run_count();
+            max_level_depth = max_level_depth.max(group.level_count());
+        }
+        TableWalk {
+            memory: MemoryBreakdown {
+                segment_bytes: segments * Segment::ENCODED_BYTES,
+                crb_bytes,
+            },
+            segments,
+            max_level_depth,
+        }
+    }
+
+    /// From-scratch recomputation of [`LeaFtlTable::group_bytes`] (the
+    /// per-group oracle).
+    pub fn recompute_group_bytes(&self, group: u64) -> usize {
+        self.groups.get(&group).map_or(0, |g| {
+            g.recount_segments() * Segment::ENCODED_BYTES
+                + g.crb().recount_members()
+                + g.crb().run_count()
+        })
+    }
+
+    /// Credits writes learned by *sibling* shards of the same sharded
+    /// service toward this table's compaction interval, so
+    /// interval-gated [`LeaFtlTable::maybe_compact`] fires at the
+    /// device-wide write rate instead of the shard-local one. Does not
+    /// count toward [`LeaFtlTable::writes_learned`].
+    pub fn note_external_writes(&mut self, writes: u64) {
+        self.writes_since_compaction += writes;
     }
 
     /// Computes a full structural snapshot for the experiment harness.
@@ -477,6 +619,48 @@ mod tests {
         assert_eq!(stats.memory.total(), table.memory_bytes().total());
         let members: u32 = stats.members_per_segment.iter().sum();
         assert_eq!(members as u64, 304);
+    }
+
+    #[test]
+    fn incremental_counters_match_walk() {
+        let mut table = LeaFtlTable::new(LeaFtlConfig::default().with_gamma(2));
+        // Sequential base, irregular overwrites (CRB traffic), deep
+        // stacking, then compaction — every accounting transition.
+        table.learn(&batch(0, 1000, 700));
+        table.learn(&[
+            (Lpa::new(10), Ppa::new(9000)),
+            (Lpa::new(13), Ppa::new(9001)),
+            (Lpa::new(17), Ppa::new(9002)),
+            (Lpa::new(300), Ppa::new(9003)),
+        ]);
+        for round in 0..6u64 {
+            table.learn(&batch(round * 7, 20_000 + round * 1000, 40));
+        }
+        let walk = table.recompute_walk();
+        assert_eq!(table.memory_bytes(), walk.memory);
+        assert_eq!(table.segment_count(), walk.segments);
+        assert_eq!(table.max_level_depth(), walk.max_level_depth);
+        for id in table.group_ids().collect::<Vec<_>>() {
+            assert_eq!(table.group_bytes(id), table.recompute_group_bytes(id));
+        }
+        table.compact();
+        let walk = table.recompute_walk();
+        assert_eq!(table.memory_bytes(), walk.memory);
+        assert_eq!(table.segment_count(), walk.segments);
+        assert_eq!(table.max_level_depth(), walk.max_level_depth);
+        assert_eq!(table.group_bytes(u64::MAX), 0, "absent group is empty");
+    }
+
+    #[test]
+    fn external_writes_advance_the_compaction_interval() {
+        let mut table = LeaFtlTable::new(LeaFtlConfig::default().with_compaction_interval(100));
+        table.learn(&batch(0, 1000, 60));
+        assert!(!table.maybe_compact());
+        // Sibling shards learned 40 more device writes: the interval is
+        // device-wide, so this table compacts now.
+        table.note_external_writes(40);
+        assert!(table.maybe_compact());
+        assert_eq!(table.writes_learned(), 60, "external writes not learned");
     }
 
     #[test]

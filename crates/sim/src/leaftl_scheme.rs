@@ -6,6 +6,16 @@
 //! groups, dirty groups written back on eviction). In the common case —
 //! the paper's headline result — the learned table is small enough that
 //! everything stays resident and no translation traffic occurs.
+//!
+//! Every residency decision is O(1): the footprint check reads the
+//! table's incremental aggregate counters and each touched group is
+//! charged its *exact* byte size (`LeaFtlTable::group_bytes`), not a
+//! whole-table average — after a learn mutates a batch's groups the
+//! resident records are re-synced ([`LeaFtlScheme`] internals), and
+//! after a compaction sweep every resident record is refreshed, so LRU
+//! eviction and translation-write costs always reflect the group
+//! actually paged (invariant pinned by the `accounting_equivalence`
+//! proptests).
 
 use crate::lru::LruCache;
 use crate::mapping::{MapCost, MappingLookup, MappingScheme, ShardPressure};
@@ -56,47 +66,67 @@ impl LeaFtlScheme {
         self.table.stats()
     }
 
-    fn group_bytes(&self, _group: u64) -> usize {
-        // Approximation: average bytes per non-empty group. Exact
-        // per-group accounting would require a table walk per touch;
-        // the average preserves the aggregate budget behaviour.
-        let groups = self.table.group_count().max(1);
-        self.table.memory_bytes().total() / groups
+    /// Bytes the resident-group LRU currently accounts for. Invariant
+    /// (pinned by the `accounting_equivalence` proptests): equals the
+    /// sum of [`LeaFtlTable::group_bytes`] over the resident groups.
+    pub fn resident_bytes(&self) -> usize {
+        self.resident.bytes()
+    }
+
+    /// Ids of the currently resident groups, most recently used first.
+    pub fn resident_groups(&self) -> impl Iterator<Item = u64> + '_ {
+        self.resident.keys_mru().copied()
+    }
+
+    fn group_bytes(&self, group: u64) -> usize {
+        // Exact per-group footprint — O(1) from the table's incremental
+        // per-group counters, so LRU residency charges the group
+        // actually paged instead of a whole-table average.
+        self.table.group_bytes(group)
+    }
+
+    /// Invokes `act` once per group run in the batch (consecutive
+    /// same-group pairs collapse to one call) — the single definition
+    /// of "which groups does this batch touch" shared by the touch and
+    /// recharge passes, so the two can never diverge.
+    fn for_each_batch_group(pairs: &[(Lpa, Ppa)], mut act: impl FnMut(u64)) {
+        if let Some(&(first, _)) = pairs.first() {
+            let mut group = first.group();
+            act(group);
+            for &(lpa, _) in pairs {
+                if lpa.group() != group {
+                    group = lpa.group();
+                    act(group);
+                }
+            }
+        }
     }
 
     /// Touches every group a batch spans (usually one or two), dirty.
     fn touch_batch_groups(&mut self, pairs: &[(Lpa, Ppa)]) -> MapCost {
         let mut cost = MapCost::FREE;
-        if let Some(&(first, _)) = pairs.first() {
-            let mut group = first.group();
-            cost.add(self.touch_group(group, true));
-            for &(lpa, _) in pairs {
-                if lpa.group() != group {
-                    group = lpa.group();
-                    cost.add(self.touch_group(group, true));
-                }
-            }
-        }
+        Self::for_each_batch_group(pairs, |group| cost.add(self.touch_group(group, true)));
         cost
     }
 
-    /// Ensures `group` is resident, returning the incurred cost.
-    fn touch_group(&mut self, group: u64, dirty: bool) -> MapCost {
+    /// Re-syncs residency byte accounting after a learn mutated the
+    /// batch's groups (their exact footprints grew or shrank), then
+    /// enforces the budget, charging write-backs for dirty evictions.
+    fn recharge_batch_groups(&mut self, pairs: &[(Lpa, Ppa)]) -> MapCost {
+        if self.whole_table_fits() {
+            // Whole table fits: residency is not in play.
+            return MapCost::FREE;
+        }
+        Self::for_each_batch_group(pairs, |group| {
+            self.resident.resize(&group, self.table.group_bytes(group));
+        });
+        self.evict_to_budget()
+    }
+
+    /// Evicts LRU groups until residency fits the budget, charging one
+    /// translation write per dirty victim.
+    fn evict_to_budget(&mut self) -> MapCost {
         let mut cost = MapCost::FREE;
-        if self.table.memory_bytes().total() <= self.budget {
-            // Whole table fits: nothing to demand-page.
-            return cost;
-        }
-        let bytes = self.group_bytes(group);
-        if self.resident.contains(&group) {
-            self.resident.get(&group); // promote
-            if dirty {
-                self.resident.mark_dirty(&group);
-            }
-            return cost;
-        }
-        cost.translation_reads += 1;
-        self.resident.insert(group, (), bytes, dirty);
         while self.resident.bytes() > self.budget {
             match self.resident.pop_lru() {
                 Some((_, _, was_dirty)) => {
@@ -109,6 +139,54 @@ impl LeaFtlScheme {
         }
         cost
     }
+
+    /// Re-syncs every resident group's byte record after a compaction
+    /// sweep shrank arbitrary groups (O(resident) — compaction already
+    /// walked the whole table).
+    fn resync_resident_after_compaction(&mut self) {
+        let groups: Vec<u64> = self.resident.keys_mru().copied().collect();
+        for group in groups {
+            self.resident.resize(&group, self.table.group_bytes(group));
+        }
+    }
+
+    /// Whether the whole table currently fits the DRAM budget. When it
+    /// does, residency state left over from an earlier over-budget
+    /// episode is dropped: the in-DRAM table is authoritative again,
+    /// nothing can be evicted, and the next overflow faults groups in
+    /// fresh (charging reads) — keeping the pinned invariant
+    /// `resident_bytes == Σ group_bytes(resident)` from going stale
+    /// across the fitted phase.
+    fn whole_table_fits(&mut self) -> bool {
+        if self.table.memory_bytes().total() > self.budget {
+            return false;
+        }
+        if !self.resident.is_empty() {
+            self.resident = LruCache::new();
+        }
+        true
+    }
+
+    /// Ensures `group` is resident, returning the incurred cost.
+    fn touch_group(&mut self, group: u64, dirty: bool) -> MapCost {
+        let mut cost = MapCost::FREE;
+        if self.whole_table_fits() {
+            // Whole table fits: nothing to demand-page.
+            return cost;
+        }
+        if self.resident.contains(&group) {
+            self.resident.get(&group); // promote
+            if dirty {
+                self.resident.mark_dirty(&group);
+            }
+            return cost;
+        }
+        let bytes = self.group_bytes(group);
+        cost.translation_reads += 1;
+        self.resident.insert(group, (), bytes, dirty);
+        cost.add(self.evict_to_budget());
+        cost
+    }
 }
 
 impl MappingScheme for LeaFtlScheme {
@@ -117,14 +195,16 @@ impl MappingScheme for LeaFtlScheme {
     }
 
     fn update_batch(&mut self, pairs: &[(Lpa, Ppa)]) -> MapCost {
-        let cost = self.touch_batch_groups(pairs);
+        let mut cost = self.touch_batch_groups(pairs);
         self.table.learn(pairs);
+        cost.add(self.recharge_batch_groups(pairs));
         cost
     }
 
     fn update_batch_sorted(&mut self, pairs: &[(Lpa, Ppa)]) -> MapCost {
-        let cost = self.touch_batch_groups(pairs);
+        let mut cost = self.touch_batch_groups(pairs);
         self.table.learn_sorted(pairs);
+        cost.add(self.recharge_batch_groups(pairs));
         cost
     }
 
@@ -171,7 +251,14 @@ impl MappingScheme for LeaFtlScheme {
 
     fn maintain(&mut self) -> (MapCost, bool) {
         let compacted = self.table.maybe_compact();
+        if compacted {
+            self.resync_resident_after_compaction();
+        }
         (MapCost::FREE, compacted)
+    }
+
+    fn note_sibling_writes(&mut self, writes: u64) {
+        self.table.note_external_writes(writes);
     }
 
     fn lookup_is_pure(&self) -> bool {
@@ -207,6 +294,7 @@ impl MappingScheme for LeaFtlScheme {
             return (MapCost::FREE, false);
         }
         self.table.compact();
+        self.resync_resident_after_compaction();
         (MapCost::FREE, true)
     }
 
@@ -283,6 +371,38 @@ mod tests {
             assert_eq!(*got, a.lookup(lpa), "lpa {lpa}");
         }
         assert_eq!(a.memory_bytes(), b.memory_bytes());
+    }
+
+    #[test]
+    fn residency_resets_when_table_refits_budget() {
+        let mut scheme = LeaFtlScheme::new(LeaFtlConfig::default());
+        scheme.set_memory_budget(64);
+        // 16 single-point groups (128 B) overflow the 64 B budget:
+        // demand paging activates and groups go resident.
+        for g in 0..16u64 {
+            scheme.update_batch(&[(Lpa::new(g * 256), Ppa::new(1000 + g))]);
+        }
+        assert!(scheme.resident_bytes() > 0, "paging must be active");
+        // The table fits again (here: budget raised; a compaction
+        // shrinking the table has the same effect). Leftover residency
+        // records must be dropped, not left to go stale — otherwise
+        // later learns into still-"resident" groups would corrupt the
+        // byte accounting once the table re-overflows.
+        scheme.set_memory_budget(1 << 20);
+        let (hit, cost) = scheme.lookup(Lpa::new(0));
+        assert!(hit.is_some());
+        assert_eq!(cost, MapCost::FREE);
+        assert_eq!(scheme.resident_bytes(), 0, "stale residency dropped");
+        assert_eq!(scheme.resident_groups().count(), 0);
+        // Re-overflow: groups fault back in fresh with exact bytes.
+        scheme.set_memory_budget(64);
+        let (_, cost) = scheme.lookup(Lpa::new(0));
+        assert_eq!(cost.translation_reads, 1);
+        let exact: usize = scheme
+            .resident_groups()
+            .map(|g| scheme.table().group_bytes(g))
+            .sum();
+        assert_eq!(scheme.resident_bytes(), exact);
     }
 
     #[test]

@@ -178,6 +178,8 @@ impl<S: MappingScheme + Clone> Ssd<S> {
     /// Structural compaction pressure of one translation shard (the
     /// background compaction scheduler's trigger signal). Out-of-range
     /// indices clamp to the last shard, like every shard-indexed path.
+    /// Polled per dispatched command, so schemes serve it from
+    /// incremental counters (O(1)), never a table walk.
     pub fn shard_pressure(&self, shard: usize) -> ShardPressure {
         self.scheme
             .shard_pressure(shard.min(self.shard_cpu_ready_ns.len() - 1))
@@ -229,7 +231,9 @@ impl<S: MappingScheme + Clone> Ssd<S> {
     /// DRAM minus whatever the mapping side uses (the write buffer is
     /// dedicated controller memory, see [`SsdConfig`]). This leftover
     /// is the mechanism behind the paper's performance win — a smaller
-    /// mapping table funds a larger data cache.
+    /// mapping table funds a larger data cache. Consulted on every
+    /// cache insert, so `memory_bytes` must be O(1) (incremental
+    /// counters, not a group walk).
     pub fn data_cache_capacity(&self) -> usize {
         self.config
             .dram_bytes
