@@ -170,6 +170,16 @@ pub trait MappingScheme {
         self.memory_bytes()
     }
 
+    /// Byte footprint of a durable checkpoint, split into
+    /// `(segment/table bytes, CRB bytes)` — the two structures §3
+    /// persists. The flash-resident translation log sizes checkpoint
+    /// entries (and thus how many log pages a checkpoint programs)
+    /// from this. The default counts the whole snapshot as table
+    /// bytes; schemes with a CRB report it separately.
+    fn checkpoint_footprint(&self) -> (usize, usize) {
+        (self.snapshot_bytes(), 0)
+    }
+
     /// Number of independent translation shards (1 for monolithic
     /// schemes). The simulator sizes one translation-CPU timeline per
     /// shard, so lookups and compactions of different shards proceed in

@@ -140,27 +140,28 @@ impl<S: MappingScheme + Send> MappingScheme for ShardedMapping<S> {
         if self.shards.len() == 1 {
             return self.shards[0].update_batch(pairs);
         }
-        // Stable per-shard partition: each LPA belongs to exactly one
-        // shard and keeps its relative order there, so last-write-wins
-        // semantics survive the split.
-        let mut per_shard: Vec<Vec<(Lpa, Ppa)>> = vec![Vec::new(); self.shards.len()];
-        for &pair in pairs {
-            per_shard[self.route(pair.0)].push(pair);
-        }
-        let mut cost = MapCost::FREE;
-        for (shard, batch) in self.shards.iter_mut().zip(&per_shard) {
-            if !batch.is_empty() {
-                cost.add(shard.update_batch(batch));
-            }
-            // Each shard sees only its slice of the device's writes;
-            // credit the rest so interval-gated maintenance keeps the
-            // device-wide cadence at every shard count.
-            let siblings = (pairs.len() - batch.len()) as u64;
-            if siblings > 0 {
-                shard.note_sibling_writes(siblings);
+        // Dedup last-wins before splitting: each inner table counts the
+        // *deduped* writes it learns, so sibling credits computed from
+        // raw batch lengths would advance the interval-maintenance
+        // cadence faster than the monolithic table's own counter.
+        // Deduping here keeps `own + sibling` equal to the monolithic
+        // deduped count at every shard count. The stable sort keeps
+        // arrival order within an LPA, so the last element of each
+        // equal-LPA run is the final write.
+        let mut deduped: Vec<(Lpa, Ppa)> = pairs.to_vec();
+        deduped.sort_by_key(|&(lpa, _)| lpa.raw());
+        let mut keep = 0usize;
+        for read in 0..deduped.len() {
+            if read + 1 == deduped.len() || deduped[read + 1].0 != deduped[read].0 {
+                deduped[keep] = deduped[read];
+                keep += 1;
             }
         }
-        cost
+        deduped.truncate(keep);
+        // Sorted and duplicate-free is exactly the sorted-batch
+        // contract, which already splits at shard boundaries and
+        // credits siblings with deduped lengths.
+        self.update_batch_sorted(&deduped)
     }
 
     fn update_batch_sorted(&mut self, pairs: &[(Lpa, Ppa)]) -> MapCost {
@@ -300,6 +301,13 @@ impl<S: MappingScheme + Send> MappingScheme for ShardedMapping<S> {
         self.shards
             .iter()
             .fold(0usize, |sum, s| sum.saturating_add(s.snapshot_bytes()))
+    }
+
+    fn checkpoint_footprint(&self) -> (usize, usize) {
+        self.shards.iter().fold((0usize, 0usize), |(seg, crb), s| {
+            let (s_seg, s_crb) = s.checkpoint_footprint();
+            (seg.saturating_add(s_seg), crb.saturating_add(s_crb))
+        })
     }
 
     fn shard_count(&self) -> usize {
@@ -501,5 +509,27 @@ mod tests {
         single.update_batch(&batch);
         assert_eq!(single.shard(0).sibling_writes, 0);
         assert_eq!(single.shard(0).own_writes, 1024);
+    }
+
+    #[test]
+    fn sibling_credits_count_deduped_writes() {
+        // Each LPA written twice: 2048 raw entries, 1024 after
+        // last-wins dedup. Tables only count the deduped writes they
+        // learn, so sibling credits computed from raw batch lengths
+        // would advance every shard's cadence by 2x (and by different
+        // amounts per shard). Every shard must see exactly the deduped
+        // device-wide count.
+        let mut batch = pairs(0..1024, 5000);
+        batch.extend(pairs(0..1024, 9000));
+        let mut sharded = ShardedMapping::new(4, 1024, |_| BudgetProbe::default());
+        sharded.update_batch(&batch);
+        for shard in sharded.shards() {
+            assert_eq!(
+                shard.own_writes + shard.sibling_writes,
+                1024,
+                "cadence must reflect deduped writes, not raw batch length"
+            );
+            assert!(shard.own_writes > 0, "the batch spans every shard");
+        }
     }
 }

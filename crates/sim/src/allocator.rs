@@ -21,13 +21,17 @@ use leaftl_flash::{BlockId, FlashGeometry, Ppa};
 use serde::{Deserialize, Serialize};
 use std::collections::VecDeque;
 
-/// Allocation stream: host writes vs GC/wear migrations.
+/// Allocation stream: host writes vs GC/wear migrations vs the
+/// flash-resident translation log.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum Stream {
     /// Host buffer flushes.
     Host,
     /// GC and wear-levelling migrations.
     Gc,
+    /// Translation-log appends (checkpoints and flush deltas under
+    /// [`crate::CheckpointMode::FlashLog`]).
+    MapLog,
 }
 
 /// A run of consecutive pages within one block.
@@ -69,9 +73,11 @@ pub struct BlockAllocator {
     free: Vec<VecDeque<BlockId>>,
     open_host: Vec<Option<OpenBlock>>,
     open_gc: Vec<Option<OpenBlock>>,
+    open_maplog: Vec<Option<OpenBlock>>,
     /// Next way to stripe onto, per stream (round-robin).
     cursor_host: usize,
     cursor_gc: usize,
+    cursor_maplog: usize,
     /// Blocks in allocation order with a monotonically increasing
     /// sequence number (for crash recovery).
     allocation_log: Vec<BlockId>,
@@ -107,8 +113,10 @@ impl BlockAllocator {
             free: vec![VecDeque::new(); ways],
             open_host: vec![None; ways],
             open_gc: vec![None; ways],
+            open_maplog: vec![None; ways],
             cursor_host: 0,
             cursor_gc: 0,
+            cursor_maplog: 0,
             allocation_log: Vec::new(),
         };
         for raw in 0..geometry.blocks {
@@ -149,23 +157,27 @@ impl BlockAllocator {
         match stream {
             Stream::Host => self.open_host.iter(),
             Stream::Gc => self.open_gc.iter(),
+            Stream::MapLog => self.open_maplog.iter(),
         }
         .filter_map(|open| open.map(|o| o.block))
     }
 
-    /// Whether `block` is currently open on either stream.
+    /// Whether `block` is currently open on any stream.
     pub fn is_open(&self, block: BlockId) -> bool {
         self.open_blocks(Stream::Host)
             .chain(self.open_blocks(Stream::Gc))
+            .chain(self.open_blocks(Stream::MapLog))
             .any(|open| open == block)
     }
 
     /// Total pages obtainable right now: room in open blocks plus free
-    /// blocks.
+    /// blocks. The translation log keeps a single open block (slot 0),
+    /// so only that slot's room counts for it.
     fn available_pages(&self, stream: Stream) -> u64 {
         let opens = match stream {
             Stream::Host => &self.open_host,
             Stream::Gc => &self.open_gc,
+            Stream::MapLog => &self.open_maplog,
         };
         let open_room: u64 = opens
             .iter()
@@ -207,8 +219,10 @@ impl BlockAllocator {
         }
         self.open_host = vec![None; self.ways];
         self.open_gc = vec![None; self.ways];
+        self.open_maplog = vec![None; self.ways];
         self.cursor_host = 0;
         self.cursor_gc = 0;
+        self.cursor_maplog = 0;
     }
 
     /// Allocates `pages` as consecutive-page runs striped across the
@@ -228,6 +242,20 @@ impl BlockAllocator {
         let mut remaining = pages;
         let mut stalled_ways = 0usize;
         while remaining > 0 {
+            // The translation log is a sequential journal, not a
+            // striped flush: it fills exactly one open block at a time
+            // so superseded log blocks close (and become reclaimable
+            // by retention) as fast as possible, and the log pins a
+            // single block instead of one per way.
+            if stream == Stream::MapLog {
+                let Some(run) = self.take_maplog_chunk(stripe.min(remaining)) else {
+                    debug_assert!(false, "maplog allocation despite capacity check");
+                    return None;
+                };
+                remaining -= run.len;
+                runs.push(run);
+                continue;
+            }
             let way = match stream {
                 Stream::Host => {
                     let w = self.cursor_host;
@@ -239,6 +267,7 @@ impl BlockAllocator {
                     self.cursor_gc = (self.cursor_gc + 1) % ways;
                     w
                 }
+                Stream::MapLog => unreachable!("handled above"),
             };
             let Some(run) = self.take_chunk(stream, way, stripe.min(remaining)) else {
                 stalled_ways += 1;
@@ -263,6 +292,7 @@ impl BlockAllocator {
         let open = match stream {
             Stream::Host => &mut self.open_host[way],
             Stream::Gc => &mut self.open_gc[way],
+            Stream::MapLog => &mut self.open_maplog[way],
         };
         let needs_new = match open {
             Some(slot) => slot.next_page >= self.geometry.pages_per_block,
@@ -279,8 +309,49 @@ impl BlockAllocator {
         let slot = match stream {
             Stream::Host => self.open_host[way].as_mut(),
             Stream::Gc => self.open_gc[way].as_mut(),
+            Stream::MapLog => self.open_maplog[way].as_mut(),
         }
         .expect("open block just ensured");
+        let room = self.geometry.pages_per_block - slot.next_page;
+        let take = room.min(want);
+        let run = PageRun {
+            block: slot.block,
+            first: self.geometry.ppa(slot.block, slot.next_page),
+            len: take,
+        };
+        slot.next_page += take;
+        Some(run)
+    }
+
+    /// Sequential-journal allocation for the translation log: one open
+    /// block at a time (always slot 0), refilled round-robin from any
+    /// way's free pool so log traffic still spreads wear across dies.
+    fn take_maplog_chunk(&mut self, want: u32) -> Option<PageRun> {
+        let needs_new = match &self.open_maplog[0] {
+            Some(slot) => slot.next_page >= self.geometry.pages_per_block,
+            None => true,
+        };
+        if needs_new {
+            let ways = self.ways;
+            let mut picked = None;
+            for i in 0..ways {
+                let way = (self.cursor_maplog + i) % ways;
+                if let Some(block) = self.free[way].pop_front() {
+                    self.cursor_maplog = (way + 1) % ways;
+                    picked = Some(block);
+                    break;
+                }
+            }
+            let block = picked?;
+            self.allocation_log.push(block);
+            self.open_maplog[0] = Some(OpenBlock {
+                block,
+                next_page: 0,
+            });
+        }
+        let slot = self.open_maplog[0]
+            .as_mut()
+            .expect("open block just ensured");
         let room = self.geometry.pages_per_block - slot.next_page;
         let take = room.min(want);
         let run = PageRun {

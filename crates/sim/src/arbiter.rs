@@ -24,9 +24,10 @@
 pub enum Source {
     /// Host submission queue by index.
     Host(usize),
-    /// The internal background queue: GC migrations and translation
-    /// compactions ([`crate::Command::Compact`]). The device serves
-    /// space reclamation first when both are pending.
+    /// The internal background queue: GC migrations, translation-log
+    /// writes ([`crate::Command::MapLog`]), and translation compactions
+    /// ([`crate::Command::Compact`]). The device serves space
+    /// reclamation first, then log durability, then compaction.
     Gc,
 }
 
@@ -49,6 +50,9 @@ pub struct ArbiterView<'a> {
     /// Pending background translation-shard compactions (served from
     /// the same internal source as GC, after migrations).
     pub compact_pending: usize,
+    /// Pending translation-log ops (checkpoint/delta page programs and
+    /// log-block reclaims; served between GC and compaction).
+    pub maplog_pending: usize,
     /// Current free-block fraction (GC urgency signal).
     pub free_fraction: f64,
     /// Current virtual time.
@@ -60,7 +64,7 @@ impl ArbiterView<'_> {
     pub fn is_ready(&self, source: Source) -> bool {
         match source {
             Source::Host(i) => self.host.get(i).is_some_and(|q| q.head_ready),
-            Source::Gc => self.gc_pending + self.compact_pending > 0,
+            Source::Gc => self.gc_pending + self.compact_pending + self.maplog_pending > 0,
         }
     }
 
@@ -71,7 +75,10 @@ impl ArbiterView<'_> {
             .enumerate()
             .filter(|(_, q)| q.head_ready)
             .map(|(i, _)| Source::Host(i))
-            .chain((self.gc_pending + self.compact_pending > 0).then_some(Source::Gc))
+            .chain(
+                (self.gc_pending + self.compact_pending + self.maplog_pending > 0)
+                    .then_some(Source::Gc),
+            )
     }
 }
 
@@ -246,6 +253,7 @@ mod tests {
             host,
             gc_pending,
             compact_pending: 0,
+            maplog_pending: 0,
             free_fraction: 0.5,
             now_ns: 0,
         }
@@ -325,6 +333,7 @@ mod tests {
             host: &host,
             gc_pending: 0,
             compact_pending: 3,
+            maplog_pending: 0,
             free_fraction: 0.5,
             now_ns: 0,
         };
@@ -332,6 +341,21 @@ mod tests {
         assert_eq!(v.ready_sources().next(), Some(Source::Gc));
         let mut arbiter = RoundRobin::new();
         assert_eq!(arbiter.pick(&v), Source::Gc);
+    }
+
+    #[test]
+    fn maplog_ops_make_the_background_source_ready() {
+        let host = [ready(0)];
+        let v = ArbiterView {
+            host: &host,
+            gc_pending: 0,
+            compact_pending: 0,
+            maplog_pending: 2,
+            free_fraction: 0.5,
+            now_ns: 0,
+        };
+        assert!(v.is_ready(Source::Gc));
+        assert_eq!(v.ready_sources().next(), Some(Source::Gc));
     }
 
     #[test]

@@ -71,6 +71,33 @@ pub enum CompactionMode {
     Background,
 }
 
+/// How (and whether) the translation state is checkpointed for crash
+/// recovery.
+///
+/// Historically the simulator kept a free-magic in-DRAM clone of the
+/// mapping state ([`crate::Ssd::take_snapshot`]) refreshed inside the
+/// flush/GC paths — never scheduled as device traffic, and recovery
+/// still scanned every block programmed since the snapshot. Following
+/// the flash-resident page-map direction (Dayan & Bonnet), the mapping
+/// can instead be a log-structured flash citizen: checkpoints and
+/// per-flush deltas are programmed into dedicated translation-log
+/// blocks ([`crate::Command::MapLog`]), charged on die timelines like
+/// any other program, and recovery replays the durable log tail plus
+/// only the post-checkpoint data blocks — O(dirty), not O(device).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum CheckpointMode {
+    /// Free in-DRAM snapshot refreshed after GC passes (the legacy
+    /// behaviour; the default).
+    DramSnapshot,
+    /// Flash-resident translation log: checkpoints and flush deltas
+    /// are appended to dedicated log blocks as background device
+    /// traffic with their own retention/GC policy.
+    FlashLog,
+    /// No checkpointing: recovery falls back to the full
+    /// O(device) out-of-band scan.
+    Disabled,
+}
+
 /// Full configuration of a simulated SSD.
 ///
 /// Defaults mirror Table 1 of the paper: 2 TB capacity, 16 channels,
@@ -133,6 +160,8 @@ pub struct SsdConfig {
     /// CPU cost charged for learning one batch of up to 256 mappings
     /// (Table 3 measures 9.8–10.8 µs).
     pub learn_batch_ns: u64,
+    /// How translation state is checkpointed for crash recovery.
+    pub checkpoint_mode: CheckpointMode,
 }
 
 impl SsdConfig {
@@ -158,6 +187,7 @@ impl SsdConfig {
             lookup_base_ns: 40,
             lookup_per_level_ns: 10,
             learn_batch_ns: 10_000,
+            checkpoint_mode: CheckpointMode::DramSnapshot,
         }
     }
 

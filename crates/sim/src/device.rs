@@ -78,6 +78,13 @@ pub const GC_QUEUE: u32 = u32::MAX;
 /// traffic, not any host submission queue.
 pub const COMPACT_QUEUE: u32 = u32::MAX - 1;
 
+/// Queue/stream id stamped on background translation-log completions
+/// ([`Command::MapLog`]) — checkpoint/delta page programs and log-block
+/// reclaims are internal device traffic like GC and compaction, served
+/// between the two (reclamation first, durability second, compaction
+/// last).
+pub const MAPLOG_QUEUE: u32 = u32::MAX - 2;
+
 /// The background compaction scheduler's trigger thresholds: a
 /// translation shard whose structural pressure
 /// ([`crate::MappingScheme::shard_pressure`]) crosses *either* axis is
@@ -282,6 +289,15 @@ pub struct Device<'a, S: MappingScheme + Clone> {
     compact_scan_stamp: Option<u64>,
     /// Compaction sweeps dispatched so far.
     compact_dispatched: u64,
+    /// Translation-log ops dispatched so far.
+    maplog_dispatched: u64,
+    /// Device commands dispatched so far — host commands (each read in
+    /// a burst counts), migrations, compactions, and translation-log
+    /// ops. The coordinate crash-point injection cuts at.
+    dispatches: u64,
+    /// Remaining dispatch budget once crash injection is armed; at
+    /// zero the device freezes (pump returns with work still queued).
+    dispatch_budget: Option<u64>,
     /// Set when a dispatch error surfaced through `submit`/`drain`;
     /// the drop-time "undrained device" assert stands down, since the
     /// caller is already unwinding a failed run.
@@ -321,6 +337,9 @@ impl<'a, S: MappingScheme + Clone> Device<'a, S> {
             compact_stamp: vec![None; shard_count],
             compact_scan_stamp: None,
             compact_dispatched: 0,
+            maplog_dispatched: 0,
+            dispatches: 0,
+            dispatch_budget: None,
             poisoned: false,
         }
     }
@@ -361,6 +380,56 @@ impl<'a, S: MappingScheme + Clone> Device<'a, S> {
         self.compact_dispatched
     }
 
+    /// Background translation-log ops dispatched so far (checkpoint or
+    /// delta page programs, and log-block reclaims).
+    pub fn maplog_dispatched(&self) -> u64 {
+        self.maplog_dispatched
+    }
+
+    /// Device commands dispatched so far across all traffic classes —
+    /// each read in a burst counts one, as do migrations, compactions
+    /// and translation-log ops. This is the coordinate crash-point
+    /// injection cuts at: run a workload once, read this off, then
+    /// sweep [`Device::halt_after_dispatches`] over `0..=dispatches`.
+    pub fn dispatches(&self) -> u64 {
+        self.dispatches
+    }
+
+    /// Arms deterministic crash-point injection: after `n` more
+    /// dispatched commands the device halts — nothing further applies
+    /// state or advances time — and [`Device::halted`] turns true.
+    /// Follow with [`Device::power_cut`] and
+    /// [`Ssd::crash_and_recover`] to simulate a power failure mid-run
+    /// (including mid-checkpoint and mid-log-reclaim, since every log
+    /// page program is its own dispatch).
+    pub fn halt_after_dispatches(&mut self, n: u64) {
+        self.dispatch_budget = Some(n);
+    }
+
+    /// Whether an armed dispatch budget has run out (the device is
+    /// frozen at the cut point).
+    pub fn halted(&self) -> bool {
+        self.dispatch_budget == Some(0)
+    }
+
+    /// Simulates the power failing at the cut point: consumes the
+    /// device, discarding everything still queued in its DRAM (pending
+    /// host commands, selected victims, queued log ops) without the
+    /// drop-time undrained assert. Flash state survives on the
+    /// borrowed SSD — follow with [`Ssd::crash_and_recover`].
+    pub fn power_cut(mut self) {
+        self.poisoned = true;
+    }
+
+    /// Counts `n` dispatched commands against the crash-injection
+    /// budget (if armed) and the lifetime dispatch counter.
+    fn consume_budget(&mut self, n: u64) {
+        self.dispatches += n;
+        if let Some(budget) = &mut self.dispatch_budget {
+            *budget = budget.saturating_sub(n);
+        }
+    }
+
     /// Enqueues a host command on submission queue `queue`, returning
     /// its device-assigned id. Dispatch happens once a full
     /// queue-depth batch is pending across all queues (or on
@@ -376,16 +445,17 @@ impl<'a, S: MappingScheme + Clone> Device<'a, S> {
     ///
     /// # Panics
     ///
-    /// Panics if the request carries a [`Command::GcMigrate`] or
-    /// [`Command::Compact`] — background migrations and compactions
-    /// are internal device traffic, not host-submittable.
+    /// Panics if the request carries a [`Command::GcMigrate`],
+    /// [`Command::Compact`] or [`Command::MapLog`] — background
+    /// migrations, compactions and translation-log writes are internal
+    /// device traffic, not host-submittable.
     pub fn submit_to(&mut self, queue: usize, mut request: IoRequest) -> Result<u64, SimError> {
         assert!(
             !matches!(
                 request.command,
-                Command::GcMigrate { .. } | Command::Compact { .. }
+                Command::GcMigrate { .. } | Command::Compact { .. } | Command::MapLog { .. }
             ),
-            "GC migrations and compactions are internal device traffic"
+            "GC migrations, compactions and translation-log writes are internal device traffic"
         );
         if queue >= self.queues.len() {
             return Err(SimError::UnknownQueue(queue));
@@ -564,6 +634,7 @@ impl<'a, S: MappingScheme + Clone> Device<'a, S> {
             return Ok(None);
         };
         self.compact_queued.remove(&shard);
+        self.consume_budget(1);
         let dispatch_ns = self.ssd.now_ns();
         let deadline = self.ssd.service_compact(shard)?;
         // Snapshot the *post-sweep* pressure: until learning changes it
@@ -607,6 +678,7 @@ impl<'a, S: MappingScheme + Clone> Device<'a, S> {
             }
         };
         let command = Command::GcMigrate { victim };
+        self.consume_budget(1);
         let dispatch_ns = self.ssd.now_ns();
         let deadline = self.ssd.service_gc_migrate(victim, selected_erase_count)?;
         self.gc_inflight.push(Reverse(deadline));
@@ -619,6 +691,40 @@ impl<'a, S: MappingScheme + Clone> Device<'a, S> {
             queue: GC_QUEUE,
             stream: GC_QUEUE,
             command,
+            data: None,
+            arrival_ns: dispatch_ns,
+            dispatch_ns,
+            complete_ns: deadline,
+            gc_overlap: false,
+        });
+        Ok(Some(deadline))
+    }
+
+    /// Dispatches the next queued translation-log op as a
+    /// [`Command::MapLog`] on the [`MAPLOG_QUEUE`]: one checkpoint or
+    /// delta page program, or one superseded log-block erase. State
+    /// applies at dispatch like every other command. Only reclaims
+    /// enter the settled-free deduction (their erase returns a block
+    /// to the pool once it lands; page programs must not be deducted).
+    fn dispatch_maplog(&mut self) -> Result<Option<u64>, SimError> {
+        let Some(dispatch) = self.ssd.service_maplog()? else {
+            return Ok(None);
+        };
+        self.consume_budget(1);
+        let dispatch_ns = self.ssd.now_ns();
+        let deadline = dispatch.complete_ns;
+        if dispatch.reclaimed_block {
+            self.gc_inflight.push(Reverse(deadline));
+            self.gc_busy_until = self.gc_busy_until.max(deadline);
+        }
+        self.maplog_dispatched += 1;
+        let id = self.next_id;
+        self.next_id += 1;
+        self.completed.push(IoCompletion {
+            id,
+            queue: MAPLOG_QUEUE,
+            stream: MAPLOG_QUEUE,
+            command: Command::MapLog { seq: dispatch.seq },
             data: None,
             arrival_ns: dispatch_ns,
             dispatch_ns,
@@ -676,11 +782,20 @@ impl<'a, S: MappingScheme + Clone> Device<'a, S> {
     /// respecting arrivals, the queue depth, and the arbiter.
     fn pump(&mut self) -> Result<(), SimError> {
         loop {
+            if self.halted() {
+                // Crash injection: the budget ran out — freeze with
+                // whatever is still queued (power_cut discards it).
+                return Ok(());
+            }
             self.retire_due();
             self.replenish_gc();
             self.replenish_compaction();
             let host_pending = self.pending_total();
-            if host_pending == 0 && self.gc_pending.is_empty() && self.compact_pending.is_empty() {
+            if host_pending == 0
+                && self.gc_pending.is_empty()
+                && self.compact_pending.is_empty()
+                && self.ssd.maplog_pending() == 0
+            {
                 return Ok(());
             }
 
@@ -700,7 +815,11 @@ impl<'a, S: MappingScheme + Clone> Device<'a, S> {
             }
             let ready_hosts = self.view_scratch.iter().filter(|q| q.head_ready).count();
 
-            if ready_hosts == 0 && self.gc_pending.is_empty() && self.compact_pending.is_empty() {
+            if ready_hosts == 0
+                && self.gc_pending.is_empty()
+                && self.compact_pending.is_empty()
+                && self.ssd.maplog_pending() == 0
+            {
                 if host_blocked {
                     // Queue full: the host blocks until the earliest
                     // in-flight command completes.
@@ -724,6 +843,7 @@ impl<'a, S: MappingScheme + Clone> Device<'a, S> {
                 host: &self.view_scratch,
                 gc_pending: self.gc_pending.len(),
                 compact_pending: self.compact_pending.len(),
+                maplog_pending: self.ssd.maplog_pending(),
                 free_fraction: self.ssd.free_fraction(),
                 now_ns: now,
             };
@@ -736,13 +856,16 @@ impl<'a, S: MappingScheme + Clone> Device<'a, S> {
             // of the free depth, so batching (which amortises the
             // mapping traversal) cannot turn per-command arbitration
             // into whole-queue-depth bursts while other sources wait.
-            let background_ready = !self.gc_pending.is_empty() || !self.compact_pending.is_empty();
+            let background_ready = !self.gc_pending.is_empty()
+                || !self.compact_pending.is_empty()
+                || self.ssd.maplog_pending() > 0;
             let ready_sources = ready_hosts + usize::from(background_ready);
             match source {
                 Source::Gc => {
                     // The internal background source: space reclamation
-                    // first (it guards correctness), then compaction.
-                    if self.dispatch_gc()?.is_none() {
+                    // first (it guards correctness), then translation-
+                    // log durability, then compaction.
+                    if self.dispatch_gc()?.is_none() && self.dispatch_maplog()?.is_none() {
                         self.dispatch_compact()?;
                     }
                 }
@@ -783,6 +906,7 @@ impl<'a, S: MappingScheme + Clone> Device<'a, S> {
                         _ => break,
                     }
                 }
+                self.consume_budget(batch.len() as u64);
                 let lpas: Vec<Lpa> = batch
                     .iter()
                     .map(|&(_, req)| req.command.lpa().expect("read has an lpa"))
@@ -794,15 +918,17 @@ impl<'a, S: MappingScheme + Clone> Device<'a, S> {
             }
             Command::Write { lpa, content } => {
                 let (id, req) = self.queues[queue].pending.pop_front().expect("non-empty");
+                self.consume_budget(1);
                 let complete_ns = self.ssd.service_write(lpa, content)?;
                 self.finish(id, queue, req, None, now, complete_ns);
             }
             Command::Flush => {
                 let (id, req) = self.queues[queue].pending.pop_front().expect("non-empty");
+                self.consume_budget(1);
                 let complete_ns = self.ssd.service_flush()?;
                 self.finish(id, queue, req, None, now, complete_ns);
             }
-            Command::GcMigrate { .. } | Command::Compact { .. } => {
+            Command::GcMigrate { .. } | Command::Compact { .. } | Command::MapLog { .. } => {
                 unreachable!("rejected at submit")
             }
         }

@@ -279,6 +279,11 @@ impl MappingScheme for LeaFtlScheme {
         self.table.memory_bytes().total()
     }
 
+    fn checkpoint_footprint(&self) -> (usize, usize) {
+        let memory = self.table.memory_bytes();
+        (memory.segment_bytes, memory.crb_bytes)
+    }
+
     fn shard_pressure(&self, _shard: usize) -> ShardPressure {
         ShardPressure {
             levels: self.table.max_level_depth() as u32,

@@ -67,11 +67,14 @@ mod replay;
 mod request;
 mod ssd;
 mod stats;
+mod translog;
 pub mod validity;
 
 pub use arbiter::{Arbiter, ArbiterView, HostPriority, QueueView, RoundRobin, Source, Weighted};
-pub use config::{CompactionMode, DramPolicy, GcMode, GcPolicy, SsdConfig};
-pub use device::{CompactionScheduler, Device, DeviceConfig, COMPACT_QUEUE, GC_QUEUE};
+pub use config::{CheckpointMode, CompactionMode, DramPolicy, GcMode, GcPolicy, SsdConfig};
+pub use device::{
+    CompactionScheduler, Device, DeviceConfig, COMPACT_QUEUE, GC_QUEUE, MAPLOG_QUEUE,
+};
 pub use error::SimError;
 pub use leaftl_scheme::LeaFtlScheme;
 pub use mapping::{

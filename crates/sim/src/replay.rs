@@ -348,7 +348,7 @@ where
         match completion.kind() {
             IoKind::Read => pages_read += 1,
             IoKind::Write => pages_written += 1,
-            IoKind::Flush | IoKind::GcMigrate | IoKind::Compact => continue,
+            IoKind::Flush | IoKind::GcMigrate | IoKind::Compact | IoKind::MapLog => continue,
         }
         // Open-loop requests have real arrival times, so their latency
         // includes queueing delay; closed-loop requests are "issued"

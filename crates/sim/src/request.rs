@@ -48,6 +48,14 @@ pub enum Command {
         /// The translation shard to compact.
         shard: usize,
     },
+    /// One translation-log operation (a checkpoint page program, a
+    /// flush-delta append, or a log-block reclaim) — internal
+    /// background traffic emitted under
+    /// [`crate::CheckpointMode::FlashLog`], never host-submittable.
+    MapLog {
+        /// Translation-log entry sequence number the op belongs to.
+        seq: u64,
+    },
 }
 
 /// Coarse command classification (reporting and dispatch decisions).
@@ -63,6 +71,8 @@ pub enum IoKind {
     GcMigrate,
     /// A background translation-shard compaction.
     Compact,
+    /// A background translation-log operation.
+    MapLog,
 }
 
 impl Command {
@@ -74,6 +84,7 @@ impl Command {
             Command::Flush => IoKind::Flush,
             Command::GcMigrate { .. } => IoKind::GcMigrate,
             Command::Compact { .. } => IoKind::Compact,
+            Command::MapLog { .. } => IoKind::MapLog,
         }
     }
 
@@ -81,7 +92,10 @@ impl Command {
     pub fn lpa(&self) -> Option<Lpa> {
         match *self {
             Command::Read { lpa } | Command::Write { lpa, .. } => Some(lpa),
-            Command::Flush | Command::GcMigrate { .. } | Command::Compact { .. } => None,
+            Command::Flush
+            | Command::GcMigrate { .. }
+            | Command::Compact { .. }
+            | Command::MapLog { .. } => None,
         }
     }
 
@@ -248,6 +262,10 @@ mod tests {
         assert!(!compact.consumes_blocks());
         assert_eq!(compact.kind(), IoKind::Compact);
         assert_eq!(compact.lpa(), None);
+        let maplog = Command::MapLog { seq: 9 };
+        assert!(!maplog.consumes_blocks());
+        assert_eq!(maplog.kind(), IoKind::MapLog);
+        assert_eq!(maplog.lpa(), None);
     }
 
     #[test]

@@ -4,14 +4,15 @@
 use crate::allocator::{BlockAllocator, Stream};
 use crate::buffer::WriteBuffer;
 use crate::clock::SimClock;
-use crate::config::{CompactionMode, GcMode, GcPolicy, SsdConfig};
+use crate::config::{CheckpointMode, CompactionMode, GcMode, GcPolicy, SsdConfig};
 use crate::error::SimError;
 use crate::lru::LruCache;
 use crate::mapping::{MapCost, MappingLookup, MappingScheme, ShardPressure};
 use crate::stats::SimStats;
+use crate::translog::{LogOp, LogPayload, TransLog};
 use crate::validity::Validity;
 use leaftl_flash::{BlockId, Die, FlashDevice, Lpa, Ppa};
-use std::collections::HashSet;
+use std::collections::{HashMap, HashSet};
 
 /// DRAM access latency charged for buffer/cache hits (page transfer
 /// over the controller's internal bus).
@@ -35,14 +36,30 @@ struct Snapshot<S> {
 /// Report of a simulated power-cut recovery (§3.8 / §5 of the paper).
 #[derive(Debug, Clone, PartialEq)]
 pub struct RecoveryReport {
-    /// Blocks scanned after restoring the last snapshot.
-    pub scanned_blocks: usize,
+    /// Data blocks whose OOB reverse mappings were scanned after
+    /// restoring the newest durable checkpoint (DRAM snapshot or
+    /// flash-log generation).
+    pub scanned_data_blocks: usize,
+    /// Translation-log blocks scanned to locate the newest durable
+    /// checkpoint and the replayable log tail (always 0 outside
+    /// [`CheckpointMode::FlashLog`]).
+    pub scanned_log_blocks: usize,
+    /// Durable translation-log delta entries replayed from the log
+    /// tail (always 0 outside [`CheckpointMode::FlashLog`]).
+    pub replayed_log_entries: usize,
     /// Pages whose mappings were re-learned from OOB reverse mappings.
     pub recovered_pages: u64,
     /// Buffered host writes lost with the DRAM (no battery backing).
     pub lost_buffered_writes: usize,
     /// Simulated wall time of the recovery scan.
     pub scan_time_ns: u64,
+}
+
+impl RecoveryReport {
+    /// Total blocks touched by the recovery scan (data + log).
+    pub fn scanned_blocks(&self) -> usize {
+        self.scanned_data_blocks + self.scanned_log_blocks
+    }
 }
 
 /// A simulated flash SSD, generic over its [`MappingScheme`].
@@ -82,6 +99,9 @@ pub struct Ssd<S: MappingScheme + Clone> {
     read_cache: LruCache<Lpa, u64>,
     stats: SimStats,
     snapshot: Option<Snapshot<S>>,
+    /// The flash-resident translation log
+    /// ([`CheckpointMode::FlashLog`]'s durability mechanism).
+    translog: TransLog<S>,
     pristine_scheme: S,
     /// Completion time of the in-flight asynchronous buffer flush.
     /// A new flush blocks until the previous one drains (double
@@ -129,6 +149,7 @@ impl<S: MappingScheme + Clone> Ssd<S> {
             read_cache: LruCache::new(),
             stats: SimStats::new(),
             snapshot: None,
+            translog: TransLog::new(),
             pristine_scheme,
             scheme,
             flush_deadline_ns: 0,
@@ -220,6 +241,12 @@ impl<S: MappingScheme + Clone> Ssd<S> {
     /// Read access to the flash device (tests and experiments).
     pub fn device(&self) -> &FlashDevice {
         &self.device
+    }
+
+    /// Translation-log blocks reclaimed by the log's retention policy
+    /// so far (always 0 outside [`CheckpointMode::FlashLog`]).
+    pub fn maplog_reclaimed_blocks(&self) -> u64 {
+        self.translog.reclaimed_blocks()
     }
 
     /// Bytes of DRAM the mapping structures currently occupy.
@@ -661,6 +688,14 @@ impl<S: MappingScheme + Clone> Ssd<S> {
             self.learn_and_mark(batch, sorted);
         }
 
+        // Journal the flush's installed mappings: one delta entry per
+        // flush, replayed from the log tail at recovery instead of
+        // rescanning the blocks it touched.
+        if self.config.checkpoint_mode == CheckpointMode::FlashLog {
+            let flat: Vec<(Lpa, Ppa)> = batches.iter().flatten().copied().collect();
+            self.translog_append_delta(flat);
+        }
+
         // Write-through: flushed pages stay readable from DRAM.
         let page_bytes = self.config.geometry.page_size as usize;
         for &(lpa, content) in &pages {
@@ -685,6 +720,15 @@ impl<S: MappingScheme + Clone> Ssd<S> {
             self.maybe_gc()?;
         }
         self.maybe_wear_level()?;
+        // Blocking path: nothing else will dispatch the queued log
+        // ops, so the flush drains them synchronously (the log is
+        // durable at every flush boundary). Under background GC the
+        // multi-queue device serves them as `Command::MapLog` traffic.
+        if self.config.checkpoint_mode == CheckpointMode::FlashLog
+            && self.gc_mode == GcMode::Synchronous
+        {
+            self.drain_maplog()?;
+        }
         Ok(())
     }
 
@@ -784,8 +828,9 @@ impl<S: MappingScheme + Clone> Ssd<S> {
         };
         self.stats.gc_runs += 1;
         self.migrate_and_erase(victim)?;
-        // Persist mapping table + BVC at GC time (§3.8).
-        self.take_snapshot();
+        // Persist mapping table + BVC at GC time (§3.8), through
+        // whichever checkpoint policy the config selected.
+        self.checkpoint_tick();
         Ok(true)
     }
 
@@ -805,6 +850,13 @@ impl<S: MappingScheme + Clone> Ssd<S> {
         for raw in 0..self.config.geometry.blocks {
             let block = BlockId::new(raw);
             if self.allocator.is_open(block) || exclude.contains(&block) {
+                continue;
+            }
+            // Translation-log blocks hold zero valid *data* pages (log
+            // pages carry no reverse mapping), so greedy selection
+            // would erase a live checkpoint out from under recovery.
+            // The log reclaims its own blocks via retention.
+            if self.translog.owns(block) {
                 continue;
             }
             if self.device.block(block).is_erased() {
@@ -877,6 +929,7 @@ impl<S: MappingScheme + Clone> Ssd<S> {
         let valid = self.validity.valid_pages(victim);
         let mut reads_done = self.clock.now_ns();
         let mut programs_done = self.clock.now_ns();
+        let mut migrated: Vec<(Lpa, Ppa)> = Vec::new();
         if !valid.is_empty() {
             let mut items: Vec<(Lpa, u64, u64)> = Vec::with_capacity(valid.len());
             for &ppa in &valid {
@@ -942,6 +995,7 @@ impl<S: MappingScheme + Clone> Ssd<S> {
             for batch in &batches {
                 self.learn_and_mark(batch, true);
             }
+            migrated = batches.into_iter().flatten().collect();
         }
 
         let done = self.clock.schedule_after(
@@ -956,6 +1010,15 @@ impl<S: MappingScheme + Clone> Ssd<S> {
         self.stats.flash.erases += 1;
         self.validity.clear_block(victim);
         self.allocator.release(victim);
+        // Journal the migration's re-installed mappings — captured
+        // *after* the erase so the delta's baseline vectors reflect
+        // the post-GC physical state. (A fully stale victim installs
+        // nothing; the erase is covered by the checkpoint that follows
+        // every GC pass, or by the erase-count diff scan if that
+        // checkpoint is torn.)
+        if self.config.checkpoint_mode == CheckpointMode::FlashLog && !migrated.is_empty() {
+            self.translog_append_delta(migrated);
+        }
         Ok(done)
     }
 
@@ -990,8 +1053,8 @@ impl<S: MappingScheme + Clone> Ssd<S> {
         self.stats.gc_runs += 1;
         let done = self.migrate_block(victim, false)?;
         // Persist mapping table + BVC at GC time (§3.8), as the
-        // synchronous pass does.
-        self.take_snapshot();
+        // synchronous pass does — via the configured checkpoint policy.
+        self.checkpoint_tick();
         Ok(done)
     }
 
@@ -1133,6 +1196,11 @@ impl<S: MappingScheme + Clone> Ssd<S> {
         self.validity.clear_block(cold);
         self.allocator.release(cold);
         self.stats.wear_swaps += 1;
+        // Wear swaps re-install mappings like a migration; journal
+        // them so recovery replays the move instead of rescanning.
+        if self.config.checkpoint_mode == CheckpointMode::FlashLog {
+            self.translog_append_delta(batch);
+        }
         Ok(true)
     }
 
@@ -1140,17 +1208,10 @@ impl<S: MappingScheme + Clone> Ssd<S> {
     // Crash consistency and recovery (§3.8)
     // ------------------------------------------------------------------
 
-    /// Persists the mapping table and BVC to flash (charged as
-    /// translation programs) and records the snapshot for recovery.
-    pub fn take_snapshot(&mut self) {
-        let bvc_bytes = self.config.geometry.blocks as usize * 4;
-        let bytes = self.scheme.snapshot_bytes() + bvc_bytes;
-        let pages = bytes.div_ceil(self.config.geometry.page_size as usize);
-        for i in 0..pages {
-            let die = Die::new((i % self.config.geometry.total_dies() as usize) as u32);
-            self.clock.schedule(die, self.config.timing.program_ns);
-            self.stats.flash.translation_programs += 1;
-        }
+    /// Every block's programmed-page count and erase count, in block
+    /// order — the recovery baseline stamped into snapshots and
+    /// translation-log entries.
+    fn capture_block_vectors(&self) -> (Vec<u32>, Vec<u32>) {
         let blocks = self.config.geometry.blocks;
         let mut write_ptrs = Vec::with_capacity(blocks as usize);
         let mut erase_counts = Vec::with_capacity(blocks as usize);
@@ -1159,6 +1220,40 @@ impl<S: MappingScheme + Clone> Ssd<S> {
             write_ptrs.push(block.write_ptr());
             erase_counts.push(block.erase_count());
         }
+        (write_ptrs, erase_counts)
+    }
+
+    /// Runs the configured checkpoint policy at a persistence point
+    /// (after every GC pass, §3.8): a DRAM snapshot, a flash-log
+    /// checkpoint request, or nothing. The two persistence mechanisms
+    /// are never mixed — each mode recovers only through its own
+    /// artefacts.
+    fn checkpoint_tick(&mut self) {
+        match self.config.checkpoint_mode {
+            CheckpointMode::DramSnapshot => self.take_snapshot(),
+            CheckpointMode::FlashLog => self.translog_checkpoint(),
+            CheckpointMode::Disabled => {}
+        }
+    }
+
+    /// Persists the mapping table and BVC to flash (charged as
+    /// translation programs) and records the snapshot for recovery —
+    /// the [`CheckpointMode::DramSnapshot`] policy.
+    pub fn take_snapshot(&mut self) {
+        debug_assert!(
+            self.config.checkpoint_mode == CheckpointMode::DramSnapshot,
+            "take_snapshot is the DramSnapshot-mode persistence path; \
+             FlashLog checkpoints go through the translation log"
+        );
+        let bvc_bytes = self.config.geometry.blocks as usize * 4;
+        let bytes = self.scheme.snapshot_bytes() + bvc_bytes;
+        let pages = bytes.div_ceil(self.config.geometry.page_size as usize);
+        for i in 0..pages {
+            let die = Die::new((i % self.config.geometry.total_dies() as usize) as u32);
+            self.clock.schedule(die, self.config.timing.program_ns);
+            self.stats.flash.translation_programs += 1;
+        }
+        let (write_ptrs, erase_counts) = self.capture_block_vectors();
         self.snapshot = Some(Snapshot {
             scheme: self.scheme.clone(),
             validity: self.validity.clone(),
@@ -1167,15 +1262,204 @@ impl<S: MappingScheme + Clone> Ssd<S> {
         });
     }
 
+    // ------------------------------------------------------------------
+    // Flash-resident translation log (CheckpointMode::FlashLog)
+    // ------------------------------------------------------------------
+
+    /// Queued translation-log device ops awaiting dispatch (the
+    /// device's `MapLog` replenishment signal).
+    pub(crate) fn maplog_pending(&self) -> usize {
+        self.translog.pending_ops()
+    }
+
+    /// Appends a delta entry journalling `batch`'s installed mappings,
+    /// stamped with the current physical block vectors.
+    fn translog_append_delta(&mut self, batch: Vec<(Lpa, Ppa)>) {
+        let (write_ptrs, erase_counts) = self.capture_block_vectors();
+        self.translog.push_delta(batch, write_ptrs, erase_counts);
+    }
+
+    /// Requests a flash-log checkpoint generation: the mapping table +
+    /// validity are captured now, sized by
+    /// [`MappingScheme::checkpoint_footprint`] plus the BVC, and their
+    /// page programs queued as `MapLog` traffic. At most one
+    /// generation is in flight at a time — GC passes during a long
+    /// checkpoint write-out do not pile up further generations.
+    fn translog_checkpoint(&mut self) {
+        if self.translog.checkpoint_in_flight() {
+            return;
+        }
+        let (segment_bytes, crb_bytes) = self.scheme.checkpoint_footprint();
+        let bvc_bytes = self.config.geometry.blocks as usize * 4;
+        let pages = (segment_bytes + crb_bytes + bvc_bytes)
+            .div_ceil(self.config.geometry.page_size as usize)
+            .max(1) as u32;
+        let (write_ptrs, erase_counts) = self.capture_block_vectors();
+        self.translog.push_checkpoint(
+            self.scheme.clone(),
+            self.validity.clone(),
+            pages,
+            write_ptrs,
+            erase_counts,
+        );
+    }
+
+    /// Retention after a checkpoint generation became durable: entry
+    /// metadata it supersedes is pruned, and every log block whose
+    /// pages all predate it is queued for reclaim (erase + fold back
+    /// into the allocator).
+    fn translog_retention(&mut self) {
+        let Some(upto) = self.translog.durable_checkpoint_seq() else {
+            return;
+        };
+        self.translog.prune_superseded(upto);
+        for block in self.translog.owned_blocks() {
+            if self.allocator.is_open(block) {
+                continue;
+            }
+            if self.translog.block_superseded(block, upto) {
+                self.translog.queue_reclaim(block, upto);
+            }
+        }
+    }
+
+    /// Makes room for one log page, preferring to eat the log's own
+    /// tail (superseded blocks reclaimed synchronously) before leaning
+    /// on data GC.
+    fn ensure_maplog_allocatable(&mut self) -> Result<(), SimError> {
+        if self.allocator.can_allocate(Stream::MapLog, 1) {
+            return Ok(());
+        }
+        if let Some(upto) = self.translog.durable_checkpoint_seq() {
+            for block in self.translog.owned_blocks() {
+                if self.allocator.is_open(block) || !self.translog.block_superseded(block, upto) {
+                    continue;
+                }
+                self.clock.schedule(
+                    self.config.geometry.die_of_block(block),
+                    self.config.timing.erase_ns,
+                );
+                self.device.erase(block)?;
+                self.stats.flash.erases += 1;
+                self.translog.forget_block(block);
+                self.allocator.release(block);
+                if self.allocator.can_allocate(Stream::MapLog, 1) {
+                    return Ok(());
+                }
+            }
+        }
+        self.ensure_allocatable(1, Stream::MapLog)
+    }
+
+    /// Dispatches the next queued translation-log op: programs one log
+    /// page (`lpa = None`, content = entry seq — recovery re-derives
+    /// entry durability purely from physical pages) or erases a
+    /// superseded log block. State applies at dispatch like every
+    /// other command; the returned deadline is the op's flash
+    /// completion on its die timeline. Returns `None` when the queue
+    /// is empty (stale reclaims are skipped silently).
+    pub(crate) fn service_maplog(&mut self) -> Result<Option<MapLogDispatch>, SimError> {
+        loop {
+            let Some(op) = self.translog.pop_op() else {
+                return Ok(None);
+            };
+            match op {
+                LogOp::Program { seq } => {
+                    self.ensure_maplog_allocatable()?;
+                    let runs = self
+                        .allocator
+                        .allocate(Stream::MapLog, 1)
+                        .ok_or(SimError::DeviceFull)?;
+                    let ppa = runs[0].ppas().next().expect("one-page run");
+                    self.device.program(ppa, seq, None)?;
+                    let done = self.clock.schedule(
+                        self.config.geometry.die_of(ppa),
+                        self.config.timing.program_ns,
+                    );
+                    self.stats.flash.translation_programs += 1;
+                    let block = self.config.geometry.block_of(ppa);
+                    if self.translog.note_programmed(seq, block) {
+                        self.translog_retention();
+                    }
+                    return Ok(Some(MapLogDispatch {
+                        seq,
+                        complete_ns: done,
+                        reclaimed_block: false,
+                    }));
+                }
+                LogOp::Reclaim { block, upto } => {
+                    if !self.translog.owns(block)
+                        || self.allocator.is_open(block)
+                        || !self.translog.block_superseded(block, upto)
+                    {
+                        // Stale (already reclaimed eagerly, or the
+                        // block picked up newer pages): drop the mark
+                        // so retention can re-evaluate, and move on.
+                        self.translog.clear_reclaim_mark(block);
+                        continue;
+                    }
+                    let done = self.clock.schedule(
+                        self.config.geometry.die_of_block(block),
+                        self.config.timing.erase_ns,
+                    );
+                    self.device.erase(block)?;
+                    self.stats.flash.erases += 1;
+                    self.translog.forget_block(block);
+                    self.allocator.release(block);
+                    return Ok(Some(MapLogDispatch {
+                        seq: upto,
+                        complete_ns: done,
+                        reclaimed_block: true,
+                    }));
+                }
+            }
+        }
+    }
+
+    /// Synchronously drains the translation-log queue (blocking-path
+    /// flush boundaries). The guard bounds pathological feedback
+    /// (log appends → GC → new checkpoint → more appends) on a nearly
+    /// full device; anything left pending simply stays non-durable.
+    fn drain_maplog(&mut self) -> Result<(), SimError> {
+        let geometry = self.config.geometry;
+        let cap = 2 * geometry.blocks * geometry.pages_per_block as u64;
+        let mut guard = 0u64;
+        while let Some(dispatch) = self.service_maplog()? {
+            self.clock.wait_until(dispatch.complete_ns);
+            guard += 1;
+            if guard > cap {
+                break;
+            }
+        }
+        Ok(())
+    }
+
     /// Simulates a power cut: DRAM state (write buffer, caches, mapping
     /// table, PVT/BVC) is lost; flash survives. Recovery restores the
-    /// last snapshot and scans every block allocated since, re-learning
-    /// mappings from the OOB reverse mappings (§3.8).
+    /// newest durable checkpoint — the DRAM snapshot under
+    /// [`CheckpointMode::DramSnapshot`], the newest complete flash-log
+    /// generation under [`CheckpointMode::FlashLog`] — replays the
+    /// durable log tail (FlashLog only), and scans only the data
+    /// blocks written since, re-learning mappings from their OOB
+    /// reverse mappings (§3.8).
     pub fn crash_and_recover(&mut self) -> Result<RecoveryReport, SimError> {
         let lost_buffered_writes = self.buffer.len();
         self.buffer = WriteBuffer::new();
         self.read_cache = LruCache::new();
+        match self.config.checkpoint_mode {
+            CheckpointMode::FlashLog => self.recover_from_translog(lost_buffered_writes),
+            CheckpointMode::DramSnapshot | CheckpointMode::Disabled => {
+                self.recover_from_snapshot(lost_buffered_writes)
+            }
+        }
+    }
 
+    /// Legacy recovery: restore the DRAM snapshot (or pristine state)
+    /// and OOB-scan everything written since.
+    fn recover_from_snapshot(
+        &mut self,
+        lost_buffered_writes: usize,
+    ) -> Result<RecoveryReport, SimError> {
         let blocks = self.config.geometry.blocks;
         let (scheme, mut validity, write_ptrs, erase_counts) = match &self.snapshot {
             Some(snapshot) => (
@@ -1213,11 +1497,163 @@ impl<S: MappingScheme + Clone> Ssd<S> {
         self.scheme = scheme;
         self.validity = validity;
 
+        let recovered_pages = self.scan_and_replay(&scan_from);
+        self.rebuild_allocator_after_crash();
+
+        Ok(RecoveryReport {
+            scanned_data_blocks: scan_from.len(),
+            scanned_log_blocks: 0,
+            replayed_log_entries: 0,
+            recovered_pages,
+            lost_buffered_writes,
+            scan_time_ns: self.clock.now_ns() - scan_start_ns,
+        })
+    }
+
+    /// Flash-log recovery: read the log blocks back, keep only entries
+    /// whose pages all survived the cut (durability is physical, so a
+    /// torn entry is always a queue suffix), restore the newest durable
+    /// checkpoint, replay the durable delta tail, and OOB-scan only the
+    /// data blocks written after the last durable entry — O(dirty), not
+    /// O(device).
+    fn recover_from_translog(
+        &mut self,
+        lost_buffered_writes: usize,
+    ) -> Result<RecoveryReport, SimError> {
+        let blocks = self.config.geometry.blocks;
+        let scan_start_ns = self.clock.now_ns();
+        self.translog.discard_volatile();
+
+        // Pass 1: scan the log's own blocks. Each surviving page names
+        // the entry seq it belongs to; counting pages per seq tells us
+        // which entries are fully durable.
+        let owned = self.translog.owned_blocks();
+        let mut found: HashMap<u64, u32> = HashMap::new();
+        let mut deadline = self.clock.now_ns();
+        for &block in &owned {
+            let die = self.config.geometry.die_of_block(block);
+            let pages: Vec<Ppa> = self
+                .device
+                .scan_block(block)
+                .map(|(ppa, _, _)| ppa)
+                .collect();
+            for ppa in pages {
+                let end = self.clock.schedule(die, self.config.timing.read_ns);
+                deadline = deadline.max(end);
+                self.stats.flash.translation_reads += 1;
+                if let Some(view) = self.device.peek(ppa) {
+                    if view.lpa.is_none() {
+                        *found.entry(view.content).or_insert(0) += 1;
+                    }
+                }
+            }
+        }
+        self.clock.wait_until(deadline);
+        self.translog.retain_durable(&found);
+
+        // Restore the newest durable checkpoint generation, or pristine
+        // state if none completed before the cut.
+        let checkpoint_seq = self.translog.durable_checkpoint_seq();
+        if let Some(upto) = checkpoint_seq {
+            self.translog.prune_superseded(upto);
+        }
+        let (scheme, mut validity, base_write_ptrs, base_erase_counts) = match checkpoint_seq
+            .and_then(|seq| self.translog.entries().get(&seq))
+        {
+            Some(entry) => match &entry.payload {
+                LogPayload::Checkpoint(boxed) => (
+                    boxed.0.clone(),
+                    boxed.1.clone(),
+                    entry.write_ptrs.clone(),
+                    entry.erase_counts.clone(),
+                ),
+                LogPayload::Delta(_) => unreachable!("durable_checkpoint_seq names a checkpoint"),
+            },
+            None => (
+                self.pristine_scheme.clone(),
+                Validity::new(self.config.geometry),
+                vec![0; blocks as usize],
+                vec![0; blocks as usize],
+            ),
+        };
+        // Blocks recycled since the checkpoint hold none of the pages
+        // its validity bitmap believes in; erase counts are monotonic,
+        // so a mismatch is exactly "recycled since".
+        for raw in 0..blocks {
+            let block = BlockId::new(raw);
+            if self.device.block(block).erase_count() != base_erase_counts[raw as usize] {
+                validity.clear_block(block);
+            }
+        }
+        self.scheme = scheme;
+        self.validity = validity;
+
+        // Replay the durable delta tail in append order. The final
+        // durable entry's captured block vectors become the baseline
+        // for the data scan: everything it journalled is already
+        // replayed, so only younger pages need the OOB scan.
+        let mut final_write_ptrs = base_write_ptrs;
+        let mut final_erase_counts = base_erase_counts;
+        let mut replayed_log_entries = 0usize;
+        let tail: Vec<(u64, Vec<(Lpa, Ppa)>)> = self
+            .translog
+            .entries()
+            .iter()
+            .filter(|&(&seq, _)| checkpoint_seq.is_none_or(|c| seq > c))
+            .filter_map(|(&seq, entry)| match &entry.payload {
+                LogPayload::Delta(batch) => Some((seq, batch.clone())),
+                LogPayload::Checkpoint(_) => None,
+            })
+            .collect();
+        for (seq, batch) in tail {
+            self.replay_mapping_batch(&batch);
+            replayed_log_entries += 1;
+            let entry = &self.translog.entries()[&seq];
+            final_write_ptrs = entry.write_ptrs.clone();
+            final_erase_counts = entry.erase_counts.clone();
+        }
+
+        // Pass 2: OOB-scan only data blocks that changed after the last
+        // durable log entry. Log-owned blocks hold no reverse mappings
+        // and were already read in pass 1.
+        let mut scan_from: Vec<(BlockId, u32)> = Vec::new();
+        for raw in 0..blocks {
+            let block = BlockId::new(raw);
+            if self.translog.owns(block) {
+                continue;
+            }
+            let state = self.device.block(block);
+            if state.erase_count() != final_erase_counts[raw as usize] {
+                self.validity.clear_block(block);
+                if !state.is_erased() {
+                    scan_from.push((block, 0));
+                }
+            } else if state.write_ptr() > final_write_ptrs[raw as usize] {
+                scan_from.push((block, final_write_ptrs[raw as usize]));
+            }
+        }
+        let recovered_pages = self.scan_and_replay(&scan_from);
+        self.rebuild_allocator_after_crash();
+
+        Ok(RecoveryReport {
+            scanned_data_blocks: scan_from.len(),
+            scanned_log_blocks: owned.len(),
+            replayed_log_entries,
+            recovered_pages,
+            lost_buffered_writes,
+            scan_time_ns: self.clock.now_ns() - scan_start_ns,
+        })
+    }
+
+    /// OOB-scans `scan_from` (die-parallel, charged as translation
+    /// reads) and replays the surviving reverse mappings in write
+    /// order. Returns the number of pages re-learned.
+    fn scan_and_replay(&mut self, scan_from: &[(BlockId, u32)]) -> u64 {
         // Collect the changed pages with their OOB reverse mappings and
         // program sequence numbers (die-parallel scan).
         let mut deadline = self.clock.now_ns();
         let mut entries: Vec<(u64, Lpa, Ppa)> = Vec::new();
-        for &(block, first_page) in &scan_from {
+        for &(block, first_page) in scan_from {
             let die = self.config.geometry.die_of_block(block);
             let scanned: Vec<(Ppa, Option<Lpa>, u64)> = self
                 .device
@@ -1255,48 +1691,63 @@ impl<S: MappingScheme + Clone> Ssd<S> {
                 .iter()
                 .map(|&(_, lpa, ppa)| (lpa, ppa))
                 .collect();
-            for &(lpa, _) in &batch {
-                let (hit, _) = self.scheme.lookup(lpa);
-                if let Some(hit) = hit {
-                    // Pre-crash mappings may point into blocks erased
-                    // after the snapshot; invalidation is lenient here
-                    // (clearing an already-cleared bit is a no-op, and
-                    // an unresolvable approximate target means the old
-                    // copy is gone).
-                    if !hit.approximate {
-                        self.validity.invalidate(hit.ppa);
-                    } else {
-                        let floor = self.clock.now_ns();
-                        if let Ok((old, _, _, ready)) =
-                            self.resolve_read_at(lpa, &hit, false, floor)
-                        {
-                            self.clock.wait_until(ready);
-                            self.validity.invalidate(old);
-                        }
+            self.replay_mapping_batch(&batch);
+            idx = end;
+        }
+        recovered_pages
+    }
+
+    /// Re-installs one recovered mapping batch: leniently invalidate
+    /// whatever the table currently resolves for each LPA, then
+    /// re-learn the batch and mark its pages valid.
+    fn replay_mapping_batch(&mut self, batch: &[(Lpa, Ppa)]) {
+        for &(lpa, _) in batch {
+            let (hit, _) = self.scheme.lookup(lpa);
+            if let Some(hit) = hit {
+                // Pre-crash mappings may point into blocks erased
+                // after the checkpoint; invalidation is lenient here
+                // (clearing an already-cleared bit is a no-op, and
+                // an unresolvable approximate target means the old
+                // copy is gone).
+                if !hit.approximate {
+                    self.validity.invalidate(hit.ppa);
+                } else {
+                    let floor = self.clock.now_ns();
+                    if let Ok((old, _, _, ready)) = self.resolve_read_at(lpa, &hit, false, floor) {
+                        self.clock.wait_until(ready);
+                        self.validity.invalidate(old);
                     }
                 }
             }
-            let _cost = self.scheme.update_batch(&batch);
-            for &(_, ppa) in &batch {
-                self.validity.mark_valid(ppa);
-            }
-            idx = end;
         }
+        let _cost = self.scheme.update_batch(batch);
+        for &(_, ppa) in batch {
+            self.validity.mark_valid(ppa);
+        }
+    }
 
-        // Rebuild the allocator's free pool from the physical state.
-        let free: Vec<BlockId> = (0..blocks)
+    /// Rebuilds the allocator's free pool from the physical state.
+    fn rebuild_allocator_after_crash(&mut self) {
+        let free: Vec<BlockId> = (0..self.config.geometry.blocks)
             .map(BlockId::new)
             .filter(|&b| self.device.block(b).is_erased())
             .collect();
         self.allocator.rebuild_after_crash(free);
-
-        Ok(RecoveryReport {
-            scanned_blocks: scan_from.len(),
-            recovered_pages,
-            lost_buffered_writes,
-            scan_time_ns: self.clock.now_ns() - scan_start_ns,
-        })
     }
+}
+
+/// One dispatched translation-log device op: the entry (or reclaim
+/// watermark) seq, its flash completion time, and whether it freed a
+/// block (reclaims count as settled GC work for pressure accounting;
+/// programs must not).
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct MapLogDispatch {
+    /// Entry seq (programs) or supersede watermark (reclaims).
+    pub seq: u64,
+    /// When the op's flash work completes on its die timeline.
+    pub complete_ns: u64,
+    /// True for reclaim erases — the op returned a block to the pool.
+    pub reclaimed_block: bool,
 }
 
 #[cfg(test)]
@@ -1430,7 +1881,7 @@ mod tests {
         }
         let report = ssd.crash_and_recover().unwrap();
         assert_eq!(report.lost_buffered_writes, 5);
-        assert!(report.scanned_blocks >= 2);
+        assert!(report.scanned_blocks() >= 2);
         assert_eq!(report.recovered_pages, 64);
         for i in 0..64u64 {
             assert_eq!(ssd.read(Lpa::new(i)).unwrap(), Some(i + 1), "lpa {i}");
@@ -1452,7 +1903,7 @@ mod tests {
         // Only the post-snapshot stripes need scanning (2 blocks for a
         // 32-page flush over 16-page stripes), far less than the whole
         // device.
-        assert!(report.scanned_blocks <= 2, "{}", report.scanned_blocks);
+        assert!(report.scanned_blocks() <= 2, "{}", report.scanned_blocks());
         for i in 0..32u64 {
             assert_eq!(ssd.read(Lpa::new(i)).unwrap(), Some(1000 + i));
         }

@@ -127,7 +127,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let report = store.ssd.crash_and_recover()?;
     println!(
         "\npower cut: scanned {} blocks in {:.2} ms, {} buffered writes lost",
-        report.scanned_blocks,
+        report.scanned_blocks(),
         report.scan_time_ns as f64 / 1e6,
         report.lost_buffered_writes
     );

@@ -107,10 +107,10 @@ fn snapshot_shrinks_scan() {
     ssd.take_snapshot();
     let warm_report = ssd.crash_and_recover().unwrap();
     assert!(
-        warm_report.scanned_blocks < cold_report.scanned_blocks,
+        warm_report.scanned_blocks() < cold_report.scanned_blocks(),
         "warm {} !< cold {}",
-        warm_report.scanned_blocks,
-        cold_report.scanned_blocks
+        warm_report.scanned_blocks(),
+        cold_report.scanned_blocks()
     );
     assert!(warm_report.scan_time_ns <= cold_report.scan_time_ns);
     verify_recovered(&mut ssd, &shadow, warm_report.lost_buffered_writes);

@@ -123,7 +123,7 @@ where
             Some((IoKind::Read, lpa, _)) => {
                 blocking_reads.push(blocking.read(Lpa::new(lpa)).expect("read"));
             }
-            Some((IoKind::Flush | IoKind::GcMigrate | IoKind::Compact, ..)) => {
+            Some((IoKind::Flush | IoKind::GcMigrate | IoKind::Compact | IoKind::MapLog, ..)) => {
                 unreachable!("host ops only")
             }
             None => blocking.flush().expect("flush"),
@@ -152,7 +152,7 @@ where
                 match kind {
                     IoKind::Write => device.submit_write(Lpa::new(lpa), content).expect("write"),
                     IoKind::Read => device.submit_read(Lpa::new(lpa)).expect("read"),
-                    IoKind::Flush | IoKind::GcMigrate | IoKind::Compact => {
+                    IoKind::Flush | IoKind::GcMigrate | IoKind::Compact | IoKind::MapLog => {
                         unreachable!("host ops only")
                     }
                 };
@@ -221,7 +221,7 @@ where
             (IoKind::Read, lpa, _) => {
                 blocking.read(Lpa::new(lpa)).expect("read");
             }
-            (IoKind::Flush | IoKind::GcMigrate | IoKind::Compact, ..) => {
+            (IoKind::Flush | IoKind::GcMigrate | IoKind::Compact | IoKind::MapLog, ..) => {
                 unreachable!("host ops only")
             }
         }
@@ -245,7 +245,7 @@ where
                 (IoKind::Read, lpa, _) => {
                     device.submit_read(Lpa::new(lpa)).expect("read");
                 }
-                (IoKind::Flush | IoKind::GcMigrate | IoKind::Compact, ..) => {
+                (IoKind::Flush | IoKind::GcMigrate | IoKind::Compact | IoKind::MapLog, ..) => {
                     unreachable!("host ops only")
                 }
             }

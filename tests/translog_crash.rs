@@ -1,0 +1,374 @@
+//! Flash-resident translation-log crash tests (PR 6 tentpole).
+//!
+//! The deterministic crash-point sweep is the heart: replay one fixed
+//! workload through the queued [`Device`] path and cut power after
+//! *every* k-th dispatched device command — host writes, GC
+//! migrations, checkpoint/delta page programs, and log-block reclaim
+//! erases all count — then recover and check the recovered state
+//! against an oracle computed straight from the surviving flash
+//! pages. Because every log page program is its own dispatch, the
+//! sweep necessarily lands cuts mid-checkpoint (some but not all of a
+//! generation's pages programmed) and mid-log-GC (a reclaim erase the
+//! power cut races with).
+//!
+//! Set `TRANSLOG_SWEEP_STEP=n` to stride the sweep (CI smoke runs use
+//! a reduced point count); the default sweeps every cut point.
+
+use leaftl_repro::core::LeaFtlConfig;
+use leaftl_repro::flash::{BlockId, FlashGeometry, Lpa};
+use leaftl_repro::sim::{
+    CheckpointMode, Device, DeviceConfig, ExactPageMap, LeaFtlScheme, MappingScheme, Ssd,
+    SsdConfig, MAPLOG_QUEUE,
+};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::{HashMap, HashSet};
+
+/// A tiny device so the O(cuts × workload) sweep stays fast: 16 blocks
+/// of 8 small pages. The 512 B page keeps checkpoints multi-page (the
+/// mapping table for ~100 live pages outweighs one page), so cuts land
+/// *inside* checkpoint write-out.
+fn sweep_config() -> SsdConfig {
+    let mut config = SsdConfig::small_test();
+    config.geometry = FlashGeometry {
+        channels: 2,
+        dies_per_channel: 1,
+        blocks: 16,
+        pages_per_block: 8,
+        page_size: 512,
+        oob_size: 16,
+        endurance: 1_000,
+    };
+    config.write_buffer_pages = 8;
+    config.stripe_pages = 8;
+    config.checkpoint_mode = CheckpointMode::FlashLog;
+    config
+}
+
+/// Fixed GC-heavy workload: repeated overwrites of a working set that
+/// exceeds physical capacity several times over, forcing GC passes
+/// (which trigger checkpoint generations) and enough checkpoint churn
+/// to supersede and reclaim log blocks.
+fn sweep_ops() -> Vec<(u64, u64)> {
+    let mut ops = Vec::new();
+    let mut content = 1u64;
+    for round in 0..5u64 {
+        for i in 0..64u64 {
+            ops.push(((i * 7 + round * 3) % 64, content));
+            content += 1;
+        }
+    }
+    ops
+}
+
+/// Runs `ops` through a background-GC device, optionally cutting power
+/// after `cut` dispatched commands. Returns the SSD (still holding its
+/// flash state) and the run's total dispatch count.
+fn run_to_cut(
+    config: &SsdConfig,
+    ops: &[(u64, u64)],
+    cut: Option<u64>,
+) -> (Ssd<ExactPageMap>, u64) {
+    let mut ssd = Ssd::new(config.clone(), ExactPageMap::new());
+    let total;
+    {
+        let mut device = Device::new(&mut ssd, DeviceConfig::single(4).background_gc());
+        if let Some(k) = cut {
+            device.halt_after_dispatches(k);
+        }
+        for &(lpa, content) in ops {
+            device.submit_write(Lpa::new(lpa), content).expect("write");
+        }
+        if cut.is_none() {
+            device.drain().expect("drain");
+        }
+        total = device.dispatches();
+        if cut.is_some() {
+            device.power_cut();
+        }
+    }
+    (ssd, total)
+}
+
+/// Independent recovery oracle, computed straight from the surviving
+/// flash pages: for each LPA, the content of its highest-program-seq
+/// OOB copy. Every mapping-installing event (flush, GC migration, wear
+/// swap) programs a fresh copy with a fresh seq, so the newest
+/// physical copy *is* the durable value — no FTL state consulted.
+fn flash_ground_truth<S: MappingScheme + Clone>(ssd: &Ssd<S>) -> HashMap<u64, u64> {
+    let mut newest: HashMap<u64, (u64, u64)> = HashMap::new();
+    for raw in 0..ssd.config().geometry.blocks {
+        let pages: Vec<_> = ssd.device().scan_block(BlockId::new(raw)).collect();
+        for (ppa, lpa, seq) in pages {
+            let Some(lpa) = lpa else { continue };
+            let content = ssd.device().peek(ppa).expect("scanned page").content;
+            let slot = newest.entry(lpa.raw()).or_insert((seq, content));
+            if seq >= slot.0 {
+                *slot = (seq, content);
+            }
+        }
+    }
+    newest.into_iter().map(|(lpa, (_, c))| (lpa, c)).collect()
+}
+
+/// Recovered state must be digest-equal to the flash ground truth:
+/// every durable LPA reads back its newest flushed value, every other
+/// LPA reads back nothing.
+fn assert_recovered_matches<S: MappingScheme + Clone>(
+    ssd: &mut Ssd<S>,
+    truth: &HashMap<u64, u64>,
+    label: &str,
+) {
+    for (&lpa, &content) in truth {
+        assert_eq!(
+            ssd.read(Lpa::new(lpa)).expect("read"),
+            Some(content),
+            "{label}: lpa {lpa} lost or stale after recovery"
+        );
+    }
+    for lpa in 0..ssd.config().logical_pages() {
+        if !truth.contains_key(&lpa) {
+            assert_eq!(
+                ssd.read(Lpa::new(lpa)).expect("read"),
+                None,
+                "{label}: phantom data at never-flushed lpa {lpa}"
+            );
+        }
+    }
+}
+
+/// The uncut reference run must actually exercise the machinery the
+/// sweep claims to cut through: background log traffic, multi-page
+/// checkpoint generations, and log-block reclaims.
+#[test]
+fn sweep_workload_exercises_checkpoints_and_log_gc() {
+    let config = sweep_config();
+    let ops = sweep_ops();
+    let mut ssd = Ssd::new(config, ExactPageMap::new());
+    let mut maplog_seqs: Vec<u64> = Vec::new();
+    {
+        let mut device = Device::new(&mut ssd, DeviceConfig::single(4).background_gc());
+        for &(lpa, content) in &ops {
+            device.submit_write(Lpa::new(lpa), content).expect("write");
+        }
+        let completions = device.drain().expect("drain");
+        assert!(device.maplog_dispatched() > 0, "no log traffic dispatched");
+        maplog_seqs.extend(
+            completions
+                .iter()
+                .filter(|c| c.queue == MAPLOG_QUEUE)
+                .filter_map(|c| match c.command {
+                    leaftl_repro::sim::Command::MapLog { seq } => Some(seq),
+                    _ => None,
+                }),
+        );
+    }
+    // Multi-page checkpoints: some seq must appear on several pages,
+    // so a dispatch-count cut can land between them.
+    let mut counts: HashMap<u64, usize> = HashMap::new();
+    for seq in &maplog_seqs {
+        *counts.entry(*seq).or_insert(0) += 1;
+    }
+    assert!(
+        counts.values().any(|&n| n >= 2),
+        "no multi-page checkpoint generation in the sweep workload"
+    );
+    assert!(
+        counts.len() >= 3,
+        "too few log entries ({}) for a meaningful sweep",
+        counts.len()
+    );
+    // Log-block reclaims: superseded generations must have been folded
+    // back into the allocator, so cuts race the log's own GC too.
+    assert!(
+        ssd.maplog_reclaimed_blocks() > 0,
+        "retention never reclaimed a log block"
+    );
+}
+
+/// The tentpole acceptance test: cut after every k-th device command,
+/// recover, and require digest-equality with the flash ground truth.
+#[test]
+fn crash_point_sweep_recovers_at_every_cut() {
+    let config = sweep_config();
+    let ops = sweep_ops();
+    let (_, total) = run_to_cut(&config, &ops, None);
+    let step: u64 = std::env::var("TRANSLOG_SWEEP_STEP")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .filter(|&s| s > 0)
+        .unwrap_or(1);
+    let mut swept = 0u64;
+    for k in (0..=total).step_by(step as usize) {
+        let (mut ssd, _) = run_to_cut(&config, &ops, Some(k));
+        let truth = flash_ground_truth(&ssd);
+        ssd.crash_and_recover().expect("recover");
+        assert_recovered_matches(&mut ssd, &truth, &format!("cut {k}"));
+        swept += 1;
+    }
+    assert!(swept > 10, "sweep covered only {swept} cut points");
+}
+
+/// After recovery at a cut point the device must keep working: new
+/// writes land, read back, and survive a *second* crash.
+#[test]
+fn recovery_at_cut_is_reusable() {
+    let config = sweep_config();
+    let ops = sweep_ops();
+    let (_, total) = run_to_cut(&config, &ops, None);
+    for k in [total / 4, total / 2, 3 * total / 4] {
+        let (mut ssd, _) = run_to_cut(&config, &ops, Some(k));
+        ssd.crash_and_recover().expect("recover");
+        for i in 0..40u64 {
+            ssd.write(Lpa::new(i), 900_000 + i).expect("write");
+        }
+        ssd.flush().expect("flush");
+        ssd.crash_and_recover().expect("second recover");
+        for i in 0..40u64 {
+            assert_eq!(
+                ssd.read(Lpa::new(i)).expect("read"),
+                Some(900_000 + i),
+                "cut {k}: lpa {i} after second crash"
+            );
+        }
+    }
+}
+
+/// The blocking path drains the log synchronously at flush boundaries,
+/// so a LeaFTL device in FlashLog mode recovers through the log too —
+/// and the §3.1 memory bound (segment bytes ≤ 8 B per live page)
+/// holds for the *recovered* table.
+#[test]
+fn leaftl_flashlog_crash_recovers_with_memory_bound() {
+    let mut config = SsdConfig::small_test();
+    config.checkpoint_mode = CheckpointMode::FlashLog;
+    config.gamma = 4;
+    let scheme = LeaFtlScheme::new(LeaFtlConfig::default().with_gamma(4));
+    let mut ssd = Ssd::new(config, scheme);
+    let logical = ssd.config().logical_pages();
+    let mut content = 0u64;
+    for _round in 0..12 {
+        for lpa in 0..logical / 3 {
+            content += 1;
+            ssd.write(Lpa::new(lpa), content).expect("write");
+        }
+    }
+    assert!(ssd.stats().gc_runs > 0, "workload must trigger GC");
+    let truth = flash_ground_truth(&ssd);
+    let report = ssd.crash_and_recover().expect("recover");
+    assert!(report.scanned_log_blocks > 0, "recovery must read the log");
+    assert_recovered_matches(&mut ssd, &truth, "leaftl flashlog");
+    // §3.1 post-recovery: learned segments cost at most one 8-byte
+    // entry per live page (the page-table ceiling).
+    let live = truth.len() as u64;
+    let segment_bytes = ssd.scheme().table().memory_bytes().segment_bytes as u64;
+    assert!(
+        segment_bytes <= live * 8,
+        "§3.1 violated after recovery: {segment_bytes} B of segments for {live} live pages"
+    );
+}
+
+/// Acceptance criterion: on an aged device the flash-log replay scans
+/// strictly fewer data blocks than the checkpoint-less full crash
+/// scan of the same pre-crash state.
+#[test]
+fn log_replay_scans_strictly_fewer_blocks_than_full_scan() {
+    let build = |mode: CheckpointMode| {
+        let mut config = SsdConfig::small_test();
+        config.checkpoint_mode = mode;
+        let mut ssd = Ssd::new(config, ExactPageMap::new());
+        let logical = ssd.config().logical_pages();
+        let mut content = 0u64;
+        for _round in 0..10 {
+            for lpa in 0..logical / 3 {
+                content += 1;
+                ssd.write(Lpa::new(lpa), content).expect("write");
+            }
+        }
+        assert!(ssd.stats().gc_runs > 0, "device must be aged");
+        ssd
+    };
+    let mut logged = build(CheckpointMode::FlashLog);
+    let mut bare = build(CheckpointMode::Disabled);
+    let logged_report = logged.crash_and_recover().expect("recover");
+    let bare_report = bare.crash_and_recover().expect("recover");
+    assert!(
+        logged_report.scanned_data_blocks < bare_report.scanned_data_blocks,
+        "log replay scanned {} data blocks, full scan {}",
+        logged_report.scanned_data_blocks,
+        bare_report.scanned_data_blocks
+    );
+    assert!(logged_report.replayed_log_entries > 0);
+    assert_eq!(bare_report.scanned_log_blocks, 0);
+}
+
+/// Log blocks erased by retention must flow back to the allocator —
+/// the log never strands capacity: run far more checkpoint churn than
+/// the device could hold if superseded generations were kept.
+#[test]
+fn reclaimed_log_blocks_return_to_the_allocator() {
+    let config = sweep_config();
+    let mut ssd = Ssd::new(config, ExactPageMap::new());
+    let mut content = 0u64;
+    // ~12 passes over capacity: without reclaim the log alone would
+    // need more blocks than the device has.
+    for _round in 0..24u64 {
+        for i in 0..64u64 {
+            content += 1;
+            ssd.write(Lpa::new(i % 64), content).expect("write");
+        }
+    }
+    assert!(
+        ssd.maplog_reclaimed_blocks() >= 3,
+        "only {} log blocks reclaimed",
+        ssd.maplog_reclaimed_blocks()
+    );
+    // Still a working device with correct contents.
+    let truth = flash_ground_truth(&ssd);
+    ssd.crash_and_recover().expect("recover");
+    assert_recovered_matches(&mut ssd, &truth, "post-churn");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Arbitrary workload prefixes × arbitrary cut fractions through
+    /// the queued device path: recovery is always digest-equal to the
+    /// flash ground truth.
+    #[test]
+    fn arbitrary_prefix_and_cut_recovers(
+        seed in 0u64..1_000,
+        ops_len in 32usize..220,
+        cut_permille in 0u64..1_000,
+    ) {
+        let config = sweep_config();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut ops = Vec::with_capacity(ops_len);
+        let mut content = seed * 1_000_000 + 1;
+        for _ in 0..ops_len {
+            ops.push((rng.gen_range(0..64u64), content));
+            content += 1;
+        }
+        let (_, total) = run_to_cut(&config, &ops, None);
+        let cut = total * cut_permille / 1_000;
+        let (mut ssd, _) = run_to_cut(&config, &ops, Some(cut));
+        let truth = flash_ground_truth(&ssd);
+        ssd.crash_and_recover().expect("recover");
+        let written: HashSet<u64> = ops.iter().map(|&(lpa, _)| lpa).collect();
+        for (&lpa, &v) in &truth {
+            prop_assert_eq!(
+                ssd.read(Lpa::new(lpa)).expect("read"),
+                Some(v),
+                "cut {}: lpa {}",
+                cut,
+                lpa
+            );
+        }
+        for &lpa in &written {
+            if !truth.contains_key(&lpa) {
+                prop_assert_eq!(ssd.read(Lpa::new(lpa)).expect("read"), None);
+            }
+        }
+    }
+}
