@@ -71,12 +71,64 @@ fn compare_schemes(
     out
 }
 
+/// The queue depth every engine-driven Fig. 16/17 series runs at — a
+/// realistic host depth where requests overlap across dies and the
+/// pipelined translation stage has concurrency to exploit.
+const QUEUE_DEPTH: usize = 8;
+
+/// Runs the three schemes through the queued engine at
+/// [`QUEUE_DEPTH`]: same schemes, workloads and warm-up as
+/// [`compare_schemes`], but service times overlap across dies and
+/// lookups pipeline against flash reads. Reports IOPS, service
+/// latency and the head-of-line wait the submission queue added.
+fn compare_schemes_queued(
+    title: &str,
+    profiles: &[ProfileParams],
+    scale: &Scale,
+    policy: DramPolicy,
+) -> Vec<Value> {
+    let mut rows = Vec::new();
+    let mut out = Vec::new();
+    for profile in profiles {
+        let reports: Vec<_> = SCHEMES
+            .iter()
+            .map(|&kind| run_workload_queued(kind, profile, scale, policy, QUEUE_DEPTH))
+            .collect();
+        let mut row = vec![profile.name.clone()];
+        for r in &reports {
+            row.push(format!(
+                "{:.0} ({:.0}/{:.0}µs w{:.0})",
+                r.iops(),
+                r.mean_latency_us(),
+                r.p99_latency_us(),
+                r.mean_wait_us()
+            ));
+        }
+        rows.push(row);
+        out.push(json!({
+            "workload": profile.name,
+            "queue_depth": QUEUE_DEPTH,
+            "schemes": SCHEMES.iter().map(|k| k.label()).collect::<Vec<_>>(),
+            "iops": reports.iter().map(|r| r.iops()).collect::<Vec<_>>(),
+            "mean_latency_us": reports.iter().map(|r| r.mean_latency_us()).collect::<Vec<_>>(),
+            "p99_latency_us": reports.iter().map(|r| r.p99_latency_us()).collect::<Vec<_>>(),
+            "mean_wait_us": reports.iter().map(|r| r.mean_wait_us()).collect::<Vec<_>>(),
+            "translation_stall_ns": reports
+                .iter()
+                .map(|r| r.stats.translation_stall_ns)
+                .collect::<Vec<_>>(),
+        }));
+    }
+    print_table(title, &["workload", "DFTL", "SFTL", "LeaFTL"], &rows);
+    out
+}
+
 /// Fig. 16a: DRAM devoted primarily to the mapping table. Alongside
 /// the paper's closed-loop comparison, a `replay_queued` QD=8 variant
 /// baselines the same matchup with requests overlapping across dies —
-/// the first step of migrating the Fig. 16/17 comparisons to the
-/// engine-driven harness (the closed-loop numbers understate LeaFTL's
-/// cache advantage under concurrency).
+/// the engine-driven harness the Fig. 16/17 comparisons run on (the
+/// closed-loop numbers understate LeaFTL's cache advantage under
+/// concurrency).
 pub fn fig16a(quick: bool) -> Value {
     let scale = Scale::perf(quick);
     let series = compare_schemes(
@@ -85,54 +137,18 @@ pub fn fig16a(quick: bool) -> Value {
         &scale,
         DramPolicy::MappingFirst,
     );
-
-    // Queued QD=8 variant: same schemes, workloads and warm-up, driven
-    // through the engine so service times overlap across dies.
-    const QUEUE_DEPTH: usize = 8;
-    let mut rows = Vec::new();
-    let mut queued_out = Vec::new();
-    for profile in block_trace_suite() {
-        let reports: Vec<_> = SCHEMES
-            .iter()
-            .map(|&kind| {
-                run_workload_queued(
-                    kind,
-                    &profile,
-                    &scale,
-                    DramPolicy::MappingFirst,
-                    QUEUE_DEPTH,
-                )
-            })
-            .collect();
-        let mut row = vec![profile.name.clone()];
-        for r in &reports {
-            row.push(format!(
-                "{:.0} ({:.0}/{:.0}µs)",
-                r.iops(),
-                r.mean_latency_us(),
-                r.p99_latency_us()
-            ));
-        }
-        rows.push(row);
-        queued_out.push(json!({
-            "workload": profile.name,
-            "queue_depth": QUEUE_DEPTH,
-            "schemes": SCHEMES.iter().map(|k| k.label()).collect::<Vec<_>>(),
-            "iops": reports.iter().map(|r| r.iops()).collect::<Vec<_>>(),
-            "mean_latency_us": reports.iter().map(|r| r.mean_latency_us()).collect::<Vec<_>>(),
-            "p99_latency_us": reports.iter().map(|r| r.p99_latency_us()).collect::<Vec<_>>(),
-        }));
-    }
-    print_table(
-        "Fig. 16a (queued QD=8): IOPS (mean/p99 service µs) — the concurrency-aware baseline",
-        &["workload", "DFTL", "SFTL", "LeaFTL"],
-        &rows,
+    let queued_out = compare_schemes_queued(
+        "Fig. 16a (queued QD=8): IOPS (mean/p99 service µs, w=mean wait µs) — the concurrency-aware baseline",
+        &block_trace_suite(),
+        &scale,
+        DramPolicy::MappingFirst,
     );
-
     json!({ "experiment": "fig16a", "series": series, "queued_qd8": queued_out })
 }
 
-/// Fig. 16b: at least 20 % of DRAM reserved for the data cache.
+/// Fig. 16b: at least 20 % of DRAM reserved for the data cache —
+/// closed-loop for the paper's presentation plus the engine-driven
+/// QD=8 series.
 pub fn fig16b(quick: bool) -> Value {
     let scale = Scale::perf(quick);
     let series = compare_schemes(
@@ -141,11 +157,18 @@ pub fn fig16b(quick: bool) -> Value {
         &scale,
         DramPolicy::DataFloor(0.2),
     );
-    json!({ "experiment": "fig16b", "series": series })
+    let queued_out = compare_schemes_queued(
+        "Fig. 16b (queued QD=8): IOPS (mean/p99 service µs, w=mean wait µs), ≥20% DRAM for data cache",
+        &block_trace_suite(),
+        &scale,
+        DramPolicy::DataFloor(0.2),
+    );
+    json!({ "experiment": "fig16b", "series": series, "queued_qd8": queued_out })
 }
 
 /// Fig. 17: the application suite (the paper's real-SSD validation,
-/// here on the simulator substrate — see DESIGN.md §6).
+/// here on the simulator substrate — see DESIGN.md §6), closed-loop
+/// plus the engine-driven QD=8 series.
 pub fn fig17(quick: bool) -> Value {
     let scale = Scale::perf(quick);
     let series = compare_schemes(
@@ -154,7 +177,13 @@ pub fn fig17(quick: bool) -> Value {
         &scale,
         DramPolicy::DataFloor(0.2),
     );
-    json!({ "experiment": "fig17", "series": series })
+    let queued_out = compare_schemes_queued(
+        "Fig. 17 (queued QD=8): IOPS (mean/p99 service µs, w=mean wait µs), application workloads",
+        &app_suite(),
+        &scale,
+        DramPolicy::DataFloor(0.2),
+    );
+    json!({ "experiment": "fig17", "series": series, "queued_qd8": queued_out })
 }
 
 /// Fig. 21: LeaFTL performance as γ grows (normalised to γ=0).

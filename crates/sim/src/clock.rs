@@ -22,19 +22,62 @@ use serde::{Deserialize, Serialize};
 ///   advancing the global clock. The queued I/O engine relies on this:
 ///   each request carries its own ready time while `now_ns` only moves
 ///   at dispatch/completion boundaries.
+///
+/// Beside the dies, the clock also tracks *translation CPUs* — one per
+/// mapping shard ([`SimClock::cpu_after`]). They are scheduled exactly
+/// like dies (busy-until timelines that never move `now_ns`) and are
+/// what makes translation a pipeline *stage*: a lookup occupies its
+/// shard's CPU for the lookup cost, a background compaction occupies it
+/// for the whole sweep, and the pipelined read path grants the CPU to
+/// requests in map-ready order rather than arrival order.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct SimClock {
     now_ns: u64,
     die_busy_until: Vec<u64>,
+    /// Per-translation-shard CPU availability. Defaults to one CPU so
+    /// pre-sharding callers keep the single-timeline semantics.
+    cpu_busy_until: Vec<u64>,
 }
 
 impl SimClock {
-    /// A clock at time zero for `dies` flash dies.
+    /// A clock at time zero for `dies` flash dies and one translation
+    /// CPU.
     pub fn new(dies: u32) -> Self {
+        Self::with_cpus(dies, 1)
+    }
+
+    /// A clock at time zero for `dies` flash dies and `cpus`
+    /// translation CPUs (one per mapping shard).
+    pub fn with_cpus(dies: u32, cpus: usize) -> Self {
         SimClock {
             now_ns: 0,
             die_busy_until: vec![0; dies as usize],
+            cpu_busy_until: vec![0; cpus.max(1)],
         }
+    }
+
+    /// Number of translation CPUs (mapping shards) this clock tracks.
+    pub fn cpus(&self) -> usize {
+        self.cpu_busy_until.len()
+    }
+
+    /// Occupies translation CPU `cpu` for `cost_ns`, starting no
+    /// earlier than `earliest_ns` (the request's map-ready time) nor
+    /// before the CPU frees up, and returns the completion time. Like
+    /// [`SimClock::schedule_after`] the global clock does not move —
+    /// grant order is the caller's scheduling policy, which is exactly
+    /// where the pipelined read path reorders lookups.
+    pub fn cpu_after(&mut self, cpu: usize, earliest_ns: u64, cost_ns: u64) -> u64 {
+        let busy = &mut self.cpu_busy_until[cpu];
+        let start = (*busy).max(earliest_ns);
+        let end = start + cost_ns;
+        *busy = end;
+        end
+    }
+
+    /// When translation CPU `cpu` next falls idle.
+    pub fn cpu_busy_until(&self, cpu: usize) -> u64 {
+        self.cpu_busy_until[cpu]
     }
 
     /// Current virtual time in nanoseconds.
@@ -134,6 +177,25 @@ mod tests {
         clock.schedule(Die::new(0), 300); // fills the die
         let latency = clock.run_blocking(Die::new(0), 100);
         assert_eq!(latency, 400);
+    }
+
+    #[test]
+    fn cpu_timelines_serialize_per_cpu_and_parallel_across() {
+        let mut clock = SimClock::with_cpus(1, 2);
+        assert_eq!(clock.cpus(), 2);
+        // Two grants on CPU 0 queue behind each other...
+        let first = clock.cpu_after(0, 0, 100);
+        let second = clock.cpu_after(0, 0, 50);
+        assert_eq!(first, 100);
+        assert_eq!(second, 150);
+        // ...while CPU 1 is independent, and a later map-ready floor
+        // delays the start (the request waits on its translation read,
+        // not on the CPU).
+        assert_eq!(clock.cpu_after(1, 400, 50), 450);
+        assert_eq!(clock.cpu_busy_until(0), 150);
+        assert_eq!(clock.cpu_busy_until(1), 450);
+        // The global clock never moved.
+        assert_eq!(clock.now_ns(), 0);
     }
 
     #[test]

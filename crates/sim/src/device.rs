@@ -24,6 +24,22 @@
 //! point, the global clock only advances when the host must wait, and
 //! completions retire out of order.
 //!
+//! # Pipelined translation
+//!
+//! Within one dispatched read burst, translation is a pipeline *stage*
+//! rather than a serial prefix: [`crate::Ssd::service_read_batch`]
+//! applies all state changes in strict submission order (so digests and
+//! counters match the blocking path exactly), then grants each mapping
+//! shard's translation CPU to requests in *map-ready* order. A request
+//! whose mapping is resident no longer waits behind an earlier
+//! request's demand-paged translation read — its sub-µs lookup and its
+//! data read overlap the slower request's flash traffic on the die
+//! timelines, and the time a lookup does spend queued behind a busy
+//! shard CPU is charged to
+//! [`crate::SimStats::translation_stall_ns`]. Bursts of a single read
+//! (queue depth 1) take the unpipelined path verbatim, which keeps the
+//! depth-1 cycle-exactness guarantee above.
+//!
 //! # Background GC
 //!
 //! In [`GcMode::Background`] the flush path stops collecting at the

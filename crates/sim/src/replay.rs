@@ -232,6 +232,12 @@ pub struct QueuedReplayReport {
     /// observes); closed-loop replays record dispatch→complete service
     /// time (arrivals are synthetic there).
     pub request_latency: LatencyHistogram,
+    /// Arrival→dispatch queueing-delay distribution of page requests —
+    /// head-of-line time spent in the submission queue before the
+    /// device picked the request up. The pipelined translation stage
+    /// shortens per-request *service* time, which in turn drains this
+    /// wait under load; experiments report the two side by side.
+    pub wait_latency: LatencyHistogram,
     /// Latency broken down per stream (one entry per distinct stream).
     pub per_stream: Vec<StreamLatency>,
     /// Background GC migrations the device dispatched during the
@@ -274,6 +280,16 @@ impl QueuedReplayReport {
     /// 99.9th-percentile submit→complete latency in microseconds.
     pub fn p999_latency_us(&self) -> f64 {
         self.request_latency.percentile_ns(99.9) as f64 / 1000.0
+    }
+
+    /// Mean arrival→dispatch queueing delay in microseconds.
+    pub fn mean_wait_us(&self) -> f64 {
+        self.wait_latency.mean_ns() / 1000.0
+    }
+
+    /// 99th-percentile arrival→dispatch queueing delay in microseconds.
+    pub fn p99_wait_us(&self) -> f64 {
+        self.wait_latency.percentile_ns(99.0) as f64 / 1000.0
     }
 }
 
@@ -325,6 +341,7 @@ where
     let mut pages_read = 0u64;
     let mut pages_written = 0u64;
     let mut request_latency = LatencyHistogram::new();
+    let mut wait_latency = LatencyHistogram::new();
     let mut per_stream: BTreeMap<u32, (LatencyHistogram, LatencyHistogram)> = BTreeMap::new();
     let mut last_complete = start_ns;
 
@@ -360,6 +377,7 @@ where
         };
         let (all, overlapped) = per_stream.entry(completion.stream).or_default();
         request_latency.record(latency);
+        wait_latency.record(completion.wait_ns());
         all.record(latency);
         if completion.gc_overlap {
             overlapped.record(latency);
@@ -374,6 +392,7 @@ where
         queue_depth,
         elapsed_ns: last_complete - start_ns,
         request_latency,
+        wait_latency,
         per_stream: per_stream
             .into_iter()
             .map(|(stream, (latency, gc_overlap_latency))| StreamLatency {

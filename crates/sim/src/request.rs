@@ -216,6 +216,15 @@ impl IoCompletion {
     pub fn service_ns(&self) -> u64 {
         self.complete_ns - self.dispatch_ns
     }
+
+    /// Arrival→dispatch queueing delay — time spent waiting in the
+    /// submission queue before the device picked the request up. The
+    /// pipelined translation stage shrinks the *service* side; this is
+    /// the complementary head-of-line metric the sharding experiment
+    /// reports alongside it.
+    pub fn wait_ns(&self) -> u64 {
+        self.dispatch_ns - self.arrival_ns
+    }
 }
 
 #[cfg(test)]
@@ -283,6 +292,7 @@ mod tests {
         };
         assert_eq!(c.latency_ns(), 300);
         assert_eq!(c.service_ns(), 150);
+        assert_eq!(c.wait_ns(), 150);
         assert_eq!(c.kind(), IoKind::Read);
         assert_eq!(c.lpa(), Some(Lpa::new(0)));
     }

@@ -187,6 +187,13 @@ pub struct SimStats {
     pub lookup_level_histogram: Vec<u64>,
     /// Nanoseconds spent in mapping-table CPU work (Fig. 23b).
     pub lookup_cpu_ns: u64,
+    /// Nanoseconds lookups spent queued behind a busy translation-shard
+    /// CPU (an earlier lookup or an in-flight compaction sweep) before
+    /// being granted. The pipelined read path exists to shrink this: a
+    /// resident request's sub-µs lookup no longer waits behind an
+    /// earlier request's demand-paged translation read for the shard
+    /// CPU.
+    pub translation_stall_ns: u64,
     /// Nanoseconds spent learning segments (Table 3 / §4.5).
     pub learn_cpu_ns: u64,
     /// GC invocations.

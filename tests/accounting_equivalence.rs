@@ -166,14 +166,14 @@ proptest! {
         for &o in &ops {
             apply(&mut scheme, o, &mut next_ppa);
             for (index, shard) in scheme.shards().enumerate() {
-                check_shard(index, shard)?;
+                check_shard(index, &shard)?;
             }
         }
         // Final full sweep: the deepest-group depth decrease and the
         // emptied-group drop paths must also reconcile.
         scheme.compact_all();
         for (index, shard) in scheme.shards().enumerate() {
-            check_shard(index, shard)?;
+            check_shard(index, &shard)?;
         }
     }
 
@@ -213,7 +213,8 @@ proptest! {
             apply(&mut plain, o, &mut ppa_plain);
             apply(&mut split, o, &mut ppa_split);
         }
-        let plain_table = plain.shard(0).table();
+        let plain_shard = plain.shard(0);
+        let plain_table = plain_shard.table();
         let segments: usize = split.shards().map(|s| s.table().segment_count()).sum();
         let bytes: usize = split.shards().map(|s| s.table().memory_bytes().total()).sum();
         let depth = split

@@ -21,7 +21,7 @@
 //! background-compaction device run end with identical flash digests
 //! and identical reads.
 
-use leaftl_repro::core::{LeaFtlConfig, MappingScheme, ShardedMapping};
+use leaftl_repro::core::{LeaFtlConfig, MappingScheme, ShardedMapping, PARALLEL_BATCH_MIN};
 use leaftl_repro::flash::{BlockId, Lpa, Ppa};
 use leaftl_repro::sim::{Device, DeviceConfig, LeaFtlScheme, Ssd, SsdConfig};
 use proptest::collection::vec;
@@ -167,6 +167,62 @@ proptest! {
                 segments <= live_pages,
                 "shard {}: {} segments > {} live pages",
                 index, segments, live_pages
+            );
+        }
+    }
+
+    /// The persistent worker pool is bit-identical to the sequential
+    /// fan-out: same results *and* same post-state (memory, residency,
+    /// follow-up translations), for bursts straddling the dispatch
+    /// threshold, at every shard count, resident or demand-paged.
+    /// Within a shard both paths translate the same subsequence in the
+    /// same order, so even LRU touches and evictions must agree.
+    #[test]
+    fn pooled_fanout_is_bit_identical_to_sequential(
+        ops in vec(op(), 1..30),
+        shards in prop_oneof![Just(1usize), Just(2), Just(4), Just(8)],
+        gamma in 0u32..5,
+        burst_len in prop_oneof![
+            Just(1usize),
+            Just(PARALLEL_BATCH_MIN - 1),
+            Just(PARALLEL_BATCH_MIN),
+            Just(PARALLEL_BATCH_MIN + 1),
+            Just(4 * PARALLEL_BATCH_MIN),
+        ],
+        budget in prop_oneof![Just(usize::MAX), Just(4096usize), Just(512usize)],
+    ) {
+        let mut pooled = sharded(shards, gamma);
+        let mut sequential = sharded(shards, gamma);
+        pooled.set_memory_budget(budget);
+        sequential.set_memory_budget(budget);
+        let mut ppa_a = 10_000u64;
+        let mut ppa_b = 10_000u64;
+        for &o in &ops {
+            apply(&mut pooled, o, &mut ppa_a);
+            apply(&mut sequential, o, &mut ppa_b);
+        }
+        let burst: Vec<Lpa> = (0..burst_len as u64)
+            .map(|i| Lpa::new((i * 37) % SPACE))
+            .collect();
+        prop_assert_eq!(
+            pooled.lookup_batch_pooled(&burst),
+            sequential.lookup_batch_sequential(&burst)
+        );
+        // Post-state: byte-identical memory and per-shard residency,
+        // and a probe sweep that mutates both LRUs in lockstep.
+        prop_assert_eq!(pooled.memory_bytes(), sequential.memory_bytes());
+        for (index, (pa, sa)) in pooled.shards().zip(sequential.shards()).enumerate() {
+            prop_assert_eq!(
+                pa.resident_bytes(),
+                sa.resident_bytes(),
+                "shard {} residency diverged", index
+            );
+        }
+        for lpa in (0..SPACE).step_by(11) {
+            prop_assert_eq!(
+                pooled.lookup(Lpa::new(lpa)),
+                sequential.lookup(Lpa::new(lpa)),
+                "post-burst probe {} diverged", lpa
             );
         }
     }
@@ -371,6 +427,76 @@ proptest! {
                 "lpa {} diverged", lpa
             );
         }
+    }
+
+    /// With the pipelined read path in place, a QD=1 device run over a
+    /// sharded, DRAM-constrained (demand-paged, near-zero data cache)
+    /// mapping stays *cycle-exact* with the blocking path: single-read
+    /// bursts take the unpipelined path verbatim, so not just state but
+    /// the virtual clock itself must agree at any shard count.
+    #[test]
+    fn pipelined_device_at_qd1_is_cycle_exact(
+        actions in vec(action(), 1..50),
+        shards in prop_oneof![Just(1usize), Just(2), Just(4), Just(8)],
+        gamma in 0u32..3,
+    ) {
+        let build = |n: usize| {
+            let mut config = ssd_config(gamma);
+            // Demand paging + translation traffic on most reads.
+            config.dram_bytes = 2 * 1024;
+            let logical = config.logical_pages();
+            Ssd::new(
+                config,
+                ShardedMapping::new(n, logical, |_| LeaFtlScheme::new(leaftl_config(gamma))),
+            )
+        };
+        let mut blocking = build(shards);
+        let logical = blocking.config().logical_pages();
+        let ops = page_ops(&actions, logical);
+        let blocking_reads = run_blocking(&mut blocking, &ops);
+
+        let mut queued = build(shards);
+        let mut completions = Vec::new();
+        {
+            let mut device = Device::new(&mut queued, DeviceConfig::single(1));
+            for op in &ops {
+                match *op {
+                    Some((true, lpa, content)) => {
+                        device.submit_write(Lpa::new(lpa), content).expect("write");
+                    }
+                    Some((false, lpa, _)) => {
+                        device.submit_read(Lpa::new(lpa)).expect("read");
+                    }
+                    None => {
+                        completions.extend(device.drain().expect("drain"));
+                        device
+                            .submit_to(0, leaftl_repro::sim::IoRequest::flush())
+                            .expect("flush");
+                    }
+                }
+            }
+            completions.extend(device.drain().expect("drain"));
+        }
+        completions.sort_by_key(|c| c.id);
+        let queued_reads: Vec<Option<u64>> = completions
+            .iter()
+            .filter(|c| c.kind() == leaftl_repro::sim::IoKind::Read)
+            .map(|c| c.data)
+            .collect();
+
+        prop_assert_eq!(&queued_reads, &blocking_reads);
+        prop_assert_eq!(device_digest(&queued), device_digest(&blocking));
+        prop_assert_eq!(queued.mapping_bytes(), blocking.mapping_bytes());
+        prop_assert_eq!(
+            queued.now_ns(),
+            blocking.now_ns(),
+            "queue depth 1 must be cycle-exact"
+        );
+        let (qs, bs) = (queued.stats(), blocking.stats());
+        prop_assert_eq!(qs.flash, bs.flash);
+        prop_assert_eq!(qs.lookups, bs.lookups);
+        prop_assert_eq!(qs.cache_hits, bs.cache_hits);
+        prop_assert_eq!(qs.translation_stall_ns, bs.translation_stall_ns);
     }
 }
 
