@@ -183,6 +183,27 @@ impl AnySsd {
         }
     }
 
+    /// Lifetime translation-log bytes programmed to flash (0 outside
+    /// [`leaftl_sim::CheckpointMode::FlashLog`]) — the map-log
+    /// background-traffic tax. Not reset by [`AnySsd::reset_stats`];
+    /// diff two readings to bound a measurement window.
+    pub fn maplog_bytes_written(&self) -> u64 {
+        match self {
+            AnySsd::Dftl(ssd) => ssd.maplog_bytes_written(),
+            AnySsd::Sftl(ssd) => ssd.maplog_bytes_written(),
+            AnySsd::Lea(ssd) => ssd.maplog_bytes_written(),
+        }
+    }
+
+    /// Translation-log blocks reclaimed by the log's retention policy.
+    pub fn maplog_reclaimed_blocks(&self) -> u64 {
+        match self {
+            AnySsd::Dftl(ssd) => ssd.maplog_reclaimed_blocks(),
+            AnySsd::Sftl(ssd) => ssd.maplog_reclaimed_blocks(),
+            AnySsd::Lea(ssd) => ssd.maplog_reclaimed_blocks(),
+        }
+    }
+
     /// Compacted learned-table stats (None for the baselines).
     pub fn compacted_table_stats(&self) -> Option<TableStats> {
         match self {

@@ -6,6 +6,7 @@ mod arbitration;
 mod latency;
 mod memory;
 mod perf;
+mod qos;
 mod reliability;
 mod scalability;
 mod sensitivity;
@@ -137,6 +138,11 @@ pub fn registry() -> Vec<Experiment> {
             name: "arbitration",
             description: "Multi-queue arbitration: RR vs weighted vs host-priority, background vs sync GC at QD 32",
             run: arbitration::arbitration,
+        },
+        Experiment {
+            name: "qos",
+            description: "Closed-loop QoS control plane: SLO-driven arbitration + admission control, 1000+ tenants",
+            run: qos::qos,
         },
         Experiment {
             name: "sharding",

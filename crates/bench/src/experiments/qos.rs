@@ -1,0 +1,387 @@
+//! Closed-loop QoS control plane — the experiment behind the
+//! SLO-driven arbitration subsystem. A 1000+-tenant adversarial
+//! colocation mix shares one GC-pressured device at QD 32, one
+//! submission queue per tenant:
+//!
+//! * a handful of **guaranteed-class Zipf readers**, each carrying a
+//!   p99 arrival→complete budget (`Slo::guaranteed`),
+//! * a few **GC bullies** — skewed overwriters that keep the device
+//!   collecting at the watermark,
+//! * ~1000 **best-effort** background tenants (sequential scanners,
+//!   batch-Poisson bursty writers, Zipf mixers).
+//!
+//! Four policies replay the identical trace from the identical
+//! pre-aged device image:
+//!
+//! * **static-rr** — round-robin over all queues, no SLO awareness.
+//! * **static-weighted** — what a sysadmin would provision: guaranteed
+//!   queues pinned at the controller's base weight, best-effort at 1,
+//!   never retuned.
+//! * **static-host-priority** — strict host-over-GC arbitration.
+//! * **qos-controller** — the closed loop: smooth-WRR weights retuned
+//!   every control interval from per-queue p99-vs-budget error, plus
+//!   admission throttling of best-effort writes near the GC hard
+//!   floor.
+//!
+//! The reproduction target, asserted below: with the controller on,
+//! every guaranteed tenant's p99 meets its budget while at least one
+//! static baseline violates it, and the best-effort class absorbs the
+//! GC interference (its gc-overlap share exceeds the guaranteed
+//! class's). The device runs with the flash-resident translation log
+//! enabled so the map-log background-traffic tax rides the same
+//! dies — reported per tenant class alongside the latency numbers.
+
+use crate::common::{print_table, AnySsd, Scale, SchemeKind, SEED};
+use leaftl_sim::{
+    CheckpointMode, DeviceConfig, DramPolicy, HostPriority, LatencyHistogram, QosControllerConfig,
+    QosSpec, RoundRobin, Slo, SloClass, Weighted,
+};
+use leaftl_workloads::{multi_tenant_trace, qos_fleet, warmup_ops, QosFleetSpec};
+use serde_json::{json, Value};
+
+const QUEUE_DEPTH: usize = 32;
+
+/// Per-tenant-class rollup of one policy run.
+struct ClassAgg {
+    latency: LatencyHistogram,
+    requests: u64,
+    gc_overlap: u64,
+    admission_wait_ns: u64,
+    worst_p99_us: f64,
+}
+
+impl ClassAgg {
+    fn new() -> Self {
+        ClassAgg {
+            latency: LatencyHistogram::new(),
+            requests: 0,
+            gc_overlap: 0,
+            admission_wait_ns: 0,
+            worst_p99_us: 0.0,
+        }
+    }
+
+    fn gc_share(&self) -> f64 {
+        if self.requests == 0 {
+            0.0
+        } else {
+            self.gc_overlap as f64 / self.requests as f64
+        }
+    }
+}
+
+/// SLO colocation at 1000+ tenants: static arbitration baselines vs
+/// the closed-loop controller on a GC-pressured, map-logging device.
+pub fn qos(quick: bool) -> Value {
+    let scale = Scale::perf(quick);
+    let kind = SchemeKind::LeaFtl { gamma: 4 };
+
+    // GC-pressured base image with the flash-resident translation log
+    // on, so checkpoint/delta programs compete with host I/O.
+    let mut config = scale.config(DramPolicy::DataFloor(0.2));
+    config.checkpoint_mode = CheckpointMode::FlashLog;
+    let logical = config.logical_pages();
+    let mut base = AnySsd::build(kind, config);
+    base.replay(warmup_ops(logical, 1.0));
+    base.replay(warmup_ops(logical, 1.0));
+    base.flush();
+    base.reset_stats();
+    let maplog_base_bytes = base.maplog_bytes_written();
+    let maplog_base_blocks = base.maplog_reclaimed_blocks();
+
+    // The p99 arrival→complete budget every guaranteed reader carries.
+    // Sits above the device's intrinsic die-conflict tail (a read
+    // landing behind a *single paced* block migration on its die — no
+    // arbitration can reorder a die, so that collision is the floor
+    // any controller can reach) and far below what SLO-blind policies
+    // deliver when the best-effort population backlogs behind
+    // watermark-refill GC rounds.
+    let budget_us = 15_000.0;
+    let ops_mult = if quick { 1 } else { 5 };
+    // The best-effort class *collectively* overwhelms the GC-pressured
+    // write capacity, so hundreds of its queues stay backlogged and
+    // every arbitration pick has to choose between a guaranteed reader
+    // and a crowd of best-effort heads — the regime where pick order
+    // (and admission control at the GC floor) decides the readers'
+    // tail. Readers alone are a light load the device could serve in
+    // tens of microseconds.
+    let fleet_spec = QosFleetSpec {
+        guaranteed_readers: 8,
+        reader_budget_us: budget_us,
+        reader_mean_interarrival_ns: 2_000_000,
+        reader_ops: 500 * ops_mult,
+        best_effort_tenants: 1_000,
+        best_effort_mean_interarrival_ns: 125_000_000,
+        best_effort_ops: 8 * ops_mult,
+        gc_bullies: 4,
+        bully_mean_interarrival_ns: 4_000_000,
+        bully_ops: 300 * ops_mult,
+    };
+    let fleet = qos_fleet(&fleet_spec);
+    let tenants = fleet.len();
+    assert!(tenants >= 1_000, "the QoS mix must colocate 1000+ streams");
+    let slos: Vec<Slo> = fleet.iter().map(|t| t.slo).collect();
+    let trace = multi_tenant_trace(&fleet, logical, SEED);
+
+    // ~10 reader completions per window at the 2 ms arrival gap, so
+    // every tick has a trustworthy guaranteed p99 to steer on. The
+    // widened admission margin arms the best-effort write gate while
+    // GC still has headroom: once the in-flight slots fill with writes
+    // stacked behind a long migrate+erase round, no pick order can
+    // rescue a read, so the gate must fire *before* the clog forms.
+    let ctrl = QosControllerConfig {
+        control_interval_ns: 20_000_000,
+        admission_margin: 0.12,
+        // One migration at a time: the per-die collision tail a
+        // guaranteed read can see is a single block's migrate+erase,
+        // not a watermark refill round.
+        gc_pacing_limit: 1,
+        ..QosControllerConfig::default()
+    };
+
+    let policy_names = [
+        "static-rr",
+        "static-weighted",
+        "static-host-priority",
+        "qos-controller",
+    ];
+    let mut rows = Vec::new();
+    let mut out = Vec::new();
+    let mut worst_guaranteed: Vec<(String, f64)> = Vec::new();
+    let mut qos_shares = (0.0f64, 0.0f64);
+    for name in policy_names {
+        let device = match name {
+            "static-rr" => DeviceConfig::new(tenants, QUEUE_DEPTH)
+                .background_gc()
+                .with_arbiter(Box::new(RoundRobin::new())),
+            "static-weighted" => {
+                let weights: Vec<u32> = slos
+                    .iter()
+                    .map(|s| {
+                        if s.class == SloClass::Guaranteed {
+                            ctrl.base_weight
+                        } else {
+                            1
+                        }
+                    })
+                    .collect();
+                DeviceConfig::new(tenants, QUEUE_DEPTH)
+                    .background_gc()
+                    .with_arbiter(Box::new(Weighted::new(weights, 1)))
+            }
+            "static-host-priority" => DeviceConfig::new(tenants, QUEUE_DEPTH)
+                .background_gc()
+                .with_arbiter(Box::new(HostPriority::new())),
+            _ => DeviceConfig::new(tenants, QUEUE_DEPTH)
+                .background_gc()
+                .with_arbiter(Box::new(Weighted::new(vec![1; tenants], 1)))
+                .with_qos(QosSpec::new(slos.clone()).with_controller(ctrl)),
+        };
+        let mut ssd = base.clone();
+        let report = ssd.replay_open_loop_with(trace.clone(), device);
+
+        let mut agg = [ClassAgg::new(), ClassAgg::new()];
+        let mut guaranteed_streams = Vec::new();
+        for stream in &report.per_stream {
+            let slo = slos[stream.stream as usize];
+            let class = if slo.class == SloClass::Guaranteed {
+                0
+            } else {
+                1
+            };
+            let p99_us = stream.latency.percentile_ns(99.0) as f64 / 1000.0;
+            let a = &mut agg[class];
+            a.latency.merge(&stream.latency);
+            a.requests += stream.latency.count();
+            a.gc_overlap += stream.gc_overlap_requests();
+            a.admission_wait_ns += stream.admission_wait_ns;
+            a.worst_p99_us = a.worst_p99_us.max(p99_us);
+            if class == 0 {
+                guaranteed_streams.push(json!({
+                    "stream": stream.stream,
+                    "requests": stream.latency.count(),
+                    "p50_latency_us": stream.latency.percentile_ns(50.0) as f64 / 1000.0,
+                    "p99_latency_us": p99_us,
+                    "budget_us": slo.p99_budget_us,
+                    "meets_budget": p99_us <= slo.p99_budget_us,
+                    "gc_overlap_fraction": stream.gc_overlap_fraction(),
+                }));
+            }
+        }
+        let [guar, best] = &agg;
+        if name == "qos-controller" {
+            qos_shares = (guar.gc_share(), best.gc_share());
+        }
+        worst_guaranteed.push((name.to_string(), guar.worst_p99_us));
+
+        let maplog_bytes = ssd.maplog_bytes_written() - maplog_base_bytes;
+        let maplog_blocks = ssd.maplog_reclaimed_blocks() - maplog_base_blocks;
+        let total_requests = (guar.requests + best.requests).max(1);
+        // Map-log tax attributed to each class by its request share —
+        // the log programs steal die time from everyone's dispatches.
+        let tax = |a: &ClassAgg| maplog_bytes as f64 * a.requests as f64 / total_requests as f64;
+
+        let max_guar_weight = report
+            .qos_ticks
+            .iter()
+            .flat_map(|t| t.guaranteed.iter().map(|q| q.weight))
+            .max()
+            .unwrap_or(0);
+        let min_be_weight = report.qos_ticks.iter().map(|t| t.best_effort_weight).min();
+
+        rows.push(vec![
+            name.to_string(),
+            format!("{:.0}", report.iops()),
+            format!("{:.0}", guar.worst_p99_us),
+            format!(
+                "{}",
+                if guar.worst_p99_us <= budget_us {
+                    "yes"
+                } else {
+                    "NO"
+                }
+            ),
+            format!("{:.0}", best.latency.percentile_ns(99.0) as f64 / 1000.0),
+            format!("{:.1}%", guar.gc_share() * 100.0),
+            format!("{:.1}%", best.gc_share() * 100.0),
+            format!("{:.1}", report.admission_wait_ns as f64 / 1e6),
+            format!("{:.1}", report.gc_stall_ns as f64 / 1e6),
+            format!("{:.1}", maplog_bytes as f64 / 1e6),
+        ]);
+        let tick_samples: Vec<Value> = report
+            .qos_ticks
+            .iter()
+            .step_by(report.qos_ticks.len().max(40) / 40 + 1)
+            .map(|t| {
+                json!({
+                    "at_ms": t.at_ns as f64 / 1e6,
+                    "worst_error": t.worst_error,
+                    "be_weight": t.best_effort_weight,
+                    "guaranteed": t.guaranteed.iter().map(|q| json!({
+                        "queue": q.queue,
+                        "samples": q.samples,
+                        "p99_us": q.p99_us,
+                        "weight": q.weight,
+                    })).collect::<Vec<_>>(),
+                })
+            })
+            .collect();
+        out.push(json!({
+            "policy": name,
+            "iops": report.iops(),
+            "elapsed_ms": report.elapsed_ns as f64 / 1e6,
+            "host_p99_us": report.p99_latency_us(),
+            "p99_wait_us": report.p99_wait_us(),
+            "mean_wait_us": report.mean_wait_us(),
+            "tick_samples": tick_samples,
+            "gc_runs": report.stats.gc_runs,
+            "gc_stall_ms": report.gc_stall_ns as f64 / 1e6,
+            "admission_wait_ns": report.admission_wait_ns,
+            "guaranteed": {
+                "streams": guaranteed_streams,
+                "requests": guar.requests,
+                "worst_p99_us": guar.worst_p99_us,
+                "class_p99_us": guar.latency.percentile_ns(99.0) as f64 / 1000.0,
+                "meets_budget": guar.worst_p99_us <= budget_us,
+                "gc_overlap_share": guar.gc_share(),
+                "admission_wait_ns": guar.admission_wait_ns,
+                "maplog_tax_bytes": tax(guar),
+            },
+            "best_effort": {
+                "tenants": tenants - fleet_spec.guaranteed_readers,
+                "requests": best.requests,
+                "class_p99_us": best.latency.percentile_ns(99.0) as f64 / 1000.0,
+                "worst_p99_us": best.worst_p99_us,
+                "gc_overlap_share": best.gc_share(),
+                "admission_wait_ns": best.admission_wait_ns,
+                "maplog_tax_bytes": tax(best),
+            },
+            "maplog": {
+                "bytes_written": maplog_bytes,
+                "reclaimed_blocks": maplog_blocks,
+            },
+            "controller": {
+                "ticks": report.qos_ticks.len(),
+                "max_guaranteed_weight": max_guar_weight,
+                "min_best_effort_weight": min_be_weight,
+            },
+        }));
+    }
+    print_table(
+        &format!(
+            "QoS control plane: {tenants} tenants at QD={QUEUE_DEPTH}, guaranteed p99 budget {budget_us:.0}µs (LeaFTL γ=4, map-log on)"
+        ),
+        &[
+            "policy",
+            "IOPS",
+            "guar worst p99µs",
+            "SLO met",
+            "BE p99µs",
+            "guar gc%",
+            "BE gc%",
+            "adm wait ms",
+            "stall ms",
+            "maplog MB",
+        ],
+        &rows,
+    );
+
+    // The reproduction targets, enforced (`QOS_NO_ASSERT=1` downgrades
+    // them to warnings while tuning scales).
+    let enforce = std::env::var_os("QOS_NO_ASSERT").is_none();
+    let controller_worst = worst_guaranteed
+        .iter()
+        .find(|(n, _)| n == "qos-controller")
+        .map(|&(_, p)| p)
+        .unwrap();
+    let violating_baselines: Vec<String> = worst_guaranteed
+        .iter()
+        .filter(|(n, p)| n != "qos-controller" && *p > budget_us)
+        .map(|(n, _)| n.clone())
+        .collect();
+    assert!(
+        !enforce || controller_worst <= budget_us,
+        "controller must meet every guaranteed tenant's p99 budget \
+         (worst {controller_worst:.0}µs vs budget {budget_us:.0}µs)"
+    );
+    assert!(
+        !enforce || !violating_baselines.is_empty(),
+        "at least one static baseline must violate the guaranteed budget \
+         ({worst_guaranteed:?})"
+    );
+    let (guar_share, best_share) = qos_shares;
+    assert!(
+        !enforce || best_share > guar_share,
+        "best-effort tenants must absorb the GC tax under the controller \
+         (best-effort gc-overlap share {best_share:.3} vs guaranteed {guar_share:.3})"
+    );
+    println!(
+        "controller worst guaranteed p99 {controller_worst:.0}µs ≤ {budget_us:.0}µs; \
+         violating baselines: {violating_baselines:?}; \
+         gc-overlap share guaranteed {:.1}% vs best-effort {:.1}%",
+        guar_share * 100.0,
+        best_share * 100.0
+    );
+
+    json!({
+        "experiment": "qos",
+        "queue_depth": QUEUE_DEPTH,
+        "scheme": kind.label(),
+        "tenants": tenants,
+        "fleet": {
+            "guaranteed_readers": fleet_spec.guaranteed_readers,
+            "gc_bullies": fleet_spec.gc_bullies,
+            "best_effort_tenants": fleet_spec.best_effort_tenants,
+        },
+        "budget_us": budget_us,
+        "policies": out,
+        "assertions": {
+            "controller_meets_all_budgets": controller_worst <= budget_us,
+            "controller_worst_guaranteed_p99_us": controller_worst,
+            "violating_baselines": violating_baselines,
+            "qos_guaranteed_gc_share": guar_share,
+            "qos_best_effort_gc_share": best_share,
+            "best_effort_absorbs_gc": best_share > guar_share,
+        },
+    })
+}

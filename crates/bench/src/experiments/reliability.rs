@@ -115,6 +115,8 @@ pub fn recovery(quick: bool) -> Value {
             "recovered_pages": report.recovered_pages,
             "scan_time_ms": report.scan_time_ns as f64 / 1e6,
             "lost_buffered_writes": report.lost_buffered_writes,
+            "maplog_bytes_written": report.maplog_bytes_written,
+            "maplog_reclaimed_blocks": ssd.maplog_reclaimed_blocks(),
             "post_recovery_ops": check.ops,
         }));
     }
@@ -138,10 +140,10 @@ pub fn recovery(quick: bool) -> Value {
         replay(&mut ssd, ops.iter().copied()).expect("age");
         let report = ssd.crash_and_recover().expect("recovery");
         let check = replay(&mut ssd, profile.generate(logical, 2_000, SEED ^ 7)).expect("post");
-        (report, check.ops)
+        (report, check.ops, ssd.maplog_reclaimed_blocks())
     };
-    let (bare, bare_post) = aged(CheckpointMode::Disabled);
-    let (logged, logged_post) = aged(CheckpointMode::FlashLog);
+    let (bare, bare_post, bare_reclaimed) = aged(CheckpointMode::Disabled);
+    let (logged, logged_post, logged_reclaimed) = aged(CheckpointMode::FlashLog);
     assert!(
         logged.scanned_data_blocks < bare.scanned_blocks(),
         "log replay must scan strictly fewer data blocks ({}) than the \
@@ -151,9 +153,9 @@ pub fn recovery(quick: bool) -> Value {
     );
     let mut log_rows = Vec::new();
     let mut log_out = Vec::new();
-    for (label, report, post_ops) in [
-        ("crash scan (aged)", bare, bare_post),
-        ("log replay (aged)", logged, logged_post),
+    for (label, report, post_ops, reclaimed) in [
+        ("crash scan (aged)", bare, bare_post, bare_reclaimed),
+        ("log replay (aged)", logged, logged_post, logged_reclaimed),
     ] {
         log_rows.push(vec![
             label.to_string(),
@@ -171,6 +173,8 @@ pub fn recovery(quick: bool) -> Value {
             "recovered_pages": report.recovered_pages,
             "recovery_ns": report.scan_time_ns,
             "lost_buffered_writes": report.lost_buffered_writes,
+            "maplog_bytes_written": report.maplog_bytes_written,
+            "maplog_reclaimed_blocks": reclaimed,
             "post_recovery_ops": post_ops,
         }));
     }

@@ -94,6 +94,12 @@ pub trait Arbiter: std::fmt::Debug {
 
     /// Policy name (experiment labels).
     fn name(&self) -> &'static str;
+
+    /// Retunes the weight of host queue `queue` at runtime. Policies
+    /// without per-queue weights ignore the call (the default); the
+    /// [`crate::QosController`] drives this on [`Weighted`] every
+    /// control tick.
+    fn set_weight(&mut self, _queue: usize, _weight: u32) {}
 }
 
 /// Equal-turn rotation over host queues and the GC queue.
@@ -210,6 +216,20 @@ impl Arbiter for Weighted {
     fn name(&self) -> &'static str {
         "weighted"
     }
+
+    /// Runtime retune: replaces queue `queue`'s weight (clamped to 1,
+    /// like construction). A queue beyond the current vector grows it,
+    /// filling the gap with the default weight 1. Accumulated credit
+    /// is deliberately kept — smooth WRR forgets history at the rate
+    /// of one total-ready-weight per pick, so dispatch proportions
+    /// converge to the new weights within a few rounds (pinned by a
+    /// proptest in `tests/qos_control.rs`).
+    fn set_weight(&mut self, queue: usize, weight: u32) {
+        if self.host_weights.len() <= queue {
+            self.host_weights.resize(queue + 1, 1);
+        }
+        self.host_weights[queue] = weight.max(1);
+    }
 }
 
 /// Strict host-over-GC priority: round-robin among ready host queues;
@@ -315,6 +335,34 @@ mod tests {
         let picks: Vec<Source> = (0..12).map(|_| arbiter.pick(&view(&host, 0))).collect();
         let served_q2 = picks.iter().filter(|&&p| p == Source::Host(2)).count();
         assert!(served_q2 >= 2, "unweighted queue got {served_q2}/12 turns");
+    }
+
+    #[test]
+    fn set_weight_retunes_and_grows_the_vector() {
+        let mut arbiter = Weighted::new(vec![1, 1], 1);
+        let host = [ready(100), ready(100)];
+        // Flip queue 0 from 1:1 to 3:1 at runtime: service follows.
+        arbiter.set_weight(0, 3);
+        let picks: Vec<Source> = (0..8).map(|_| arbiter.pick(&view(&host, 0))).collect();
+        let count = |s: Source| picks.iter().filter(|&&p| p == s).count();
+        assert_eq!(count(Source::Host(0)), 6);
+        assert_eq!(count(Source::Host(1)), 2);
+        // Retuning a queue beyond the vector grows it (gap defaults to
+        // weight 1) and clamps zero to 1.
+        arbiter.set_weight(5, 0);
+        assert_eq!(arbiter.host_weight(5), 1);
+        assert_eq!(arbiter.host_weight(3), 1);
+    }
+
+    #[test]
+    fn set_weight_defaults_to_noop_for_unweighted_policies() {
+        let mut arbiter = RoundRobin::new();
+        arbiter.set_weight(0, 100);
+        let host = [ready(4), ready(4)];
+        // Still an equal-turn rotation.
+        assert_eq!(arbiter.pick(&view(&host, 0)), Source::Host(0));
+        assert_eq!(arbiter.pick(&view(&host, 0)), Source::Host(1));
+        assert_eq!(arbiter.pick(&view(&host, 0)), Source::Host(0));
     }
 
     #[test]

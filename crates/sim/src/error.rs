@@ -25,6 +25,16 @@ pub enum SimError {
     /// A command was submitted to a submission queue the device does
     /// not have.
     UnknownQueue(usize),
+    /// An open-loop trace names more distinct streams than the device
+    /// config has submission queues — silently aliasing tenants onto
+    /// shared queues would corrupt per-tenant attribution, so the
+    /// replay refuses instead.
+    StreamsExceedQueues {
+        /// Distinct streams in the trace.
+        streams: usize,
+        /// Submission queues in the device config.
+        queues: usize,
+    },
 }
 
 impl fmt::Display for SimError {
@@ -42,6 +52,11 @@ impl fmt::Display for SimError {
             SimError::UnknownQueue(queue) => {
                 write!(f, "submission queue {queue} does not exist")
             }
+            SimError::StreamsExceedQueues { streams, queues } => write!(
+                f,
+                "trace names {streams} distinct streams but the device has only {queues} \
+                 submission queues — raise `DeviceConfig::queues` to at least the stream count"
+            ),
         }
     }
 }

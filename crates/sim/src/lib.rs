@@ -63,6 +63,7 @@ mod error;
 mod leaftl_scheme;
 pub mod lru;
 mod mapping;
+mod qos;
 mod replay;
 mod request;
 mod ssd;
@@ -80,6 +81,7 @@ pub use leaftl_scheme::LeaFtlScheme;
 pub use mapping::{
     ExactPageMap, MapCost, MappingLookup, MappingScheme, ShardPressure, ShardedMapping,
 };
+pub use qos::{QosController, QosControllerConfig, QosSpec, QosTick, QueueTick, Slo, SloClass};
 pub use replay::{
     replay, replay_open_loop, replay_open_loop_with, replay_queued, replay_queued_with, HostOp,
     QueuedReplayReport, ReplayReport, StreamLatency, TimedOp,

@@ -23,6 +23,7 @@
 use crate::device::{Device, DeviceConfig};
 use crate::error::SimError;
 use crate::mapping::MappingScheme;
+use crate::qos::QosTick;
 use crate::request::{IoKind, IoRequest};
 use crate::ssd::Ssd;
 use crate::stats::{LatencyHistogram, SimStats};
@@ -196,6 +197,9 @@ pub struct StreamLatency {
     /// background GC migration was still in flight — the per-queue
     /// GC-interference attribution (empty under synchronous GC).
     pub gc_overlap_latency: LatencyHistogram,
+    /// Virtual nanoseconds this stream's queue head spent deferred by
+    /// QoS admission throttling (0 without a QoS controller).
+    pub admission_wait_ns: u64,
 }
 
 impl StreamLatency {
@@ -249,6 +253,13 @@ pub struct QueuedReplayReport {
     /// Virtual time host writes spent blocked at the hard floor
     /// waiting for forced migrations (0 under synchronous GC).
     pub gc_stall_ns: u64,
+    /// Total virtual time queue heads spent deferred by QoS admission
+    /// throttling, across all queues (0 without a QoS controller).
+    pub admission_wait_ns: u64,
+    /// The QoS controller's control-tick log (empty without a
+    /// controller) — per-tick weights, p99-vs-budget errors and
+    /// interference attribution.
+    pub qos_ticks: Vec<QosTick>,
     /// Statistics snapshot at the end of the replay.
     pub stats: SimStats,
 }
@@ -345,11 +356,20 @@ where
     let mut per_stream: BTreeMap<u32, (LatencyHistogram, LatencyHistogram)> = BTreeMap::new();
     let mut last_complete = start_ns;
 
-    let (completions, gc_dispatched, gc_stall_ns, compact_dispatched) = {
+    let mut stream_queue: BTreeMap<u32, usize> = BTreeMap::new();
+    let (completions, gc_dispatched, gc_stall_ns, compact_dispatched, admission_waits, qos_ticks) = {
         let mut device = Device::new(ssd, config);
         for request in requests {
             let queue = queue_of(request.stream);
-            device.submit_to(queue, request)?;
+            if open_loop {
+                // Open loop: the whole timestamped trace is visible to
+                // the scheduler before the clock moves — a closed-loop
+                // submit here would let one slow-waking head advance
+                // the clock past arrivals the device was never shown.
+                device.enqueue_to(queue, request)?;
+            } else {
+                device.submit_to(queue, request)?;
+            }
         }
         // Every replay runs the backlog to completion — a device must
         // never be dropped with host commands still pending.
@@ -359,6 +379,8 @@ where
             device.gc_dispatched(),
             device.gc_stall_ns(),
             device.compact_dispatched(),
+            device.admission_wait_per_queue().to_vec(),
+            device.qos_ticks().to_vec(),
         )
     };
     for completion in completions {
@@ -375,6 +397,9 @@ where
         } else {
             completion.service_ns()
         };
+        stream_queue
+            .entry(completion.stream)
+            .or_insert(completion.queue as usize);
         let (all, overlapped) = per_stream.entry(completion.stream).or_default();
         request_latency.record(latency);
         wait_latency.record(completion.wait_ns());
@@ -399,11 +424,21 @@ where
                 stream,
                 latency,
                 gc_overlap_latency,
+                // With the dense one-queue-per-stream mapping this is
+                // exact; if a caller shares a queue across streams the
+                // queue's wait is attributed to each sharer.
+                admission_wait_ns: stream_queue
+                    .get(&stream)
+                    .and_then(|&q| admission_waits.get(q))
+                    .copied()
+                    .unwrap_or(0),
             })
             .collect(),
         gc_dispatched,
         gc_stall_ns,
         compact_dispatched,
+        admission_wait_ns: admission_waits.iter().sum(),
+        qos_ticks,
         stats: ssd.stats().clone(),
     })
 }
@@ -505,14 +540,21 @@ where
 }
 
 /// [`replay_open_loop`] with a full [`DeviceConfig`] — this is how the
-/// arbitration experiments select weighted or host-priority policies
-/// and background GC. Streams map onto queues as
-/// `stream % config.queues`.
+/// arbitration and QoS experiments select weighted or host-priority
+/// policies, background GC and a QoS controller. Every distinct stream
+/// gets its own submission queue (dense remap in ascending stream-id
+/// order, like [`replay_open_loop`]): queue assignment is explicit per
+/// tenant, so per-queue attribution (SLOs, `admission_wait_ns`,
+/// arbiter weights) is never silently shared.
 ///
 /// # Errors
 ///
-/// Propagates any [`SimError`] other than address range issues (which
-/// are avoided by clamping).
+/// * [`SimError::StreamsExceedQueues`] — the trace names more distinct
+///   streams than `config.queues`; the old `stream % queues` fallback
+///   aliased tenants onto shared queues and corrupted per-tenant
+///   attribution, so the replay now refuses instead.
+/// * Otherwise propagates any [`SimError`] except address range issues
+///   (avoided by clamping).
 pub fn replay_open_loop_with<S, I>(
     ssd: &mut Ssd<S>,
     ops: I,
@@ -522,8 +564,24 @@ where
     S: MappingScheme + Clone,
     I: IntoIterator<Item = TimedOp>,
 {
-    let queues = config.queues;
-    open_loop_inner(ssd, ops, config, move |stream| stream as usize % queues)
+    let ops: Vec<TimedOp> = ops.into_iter().collect();
+    let queue_map: BTreeMap<u32, usize> = ops
+        .iter()
+        .map(|t| t.stream)
+        .collect::<std::collections::BTreeSet<u32>>()
+        .into_iter()
+        .enumerate()
+        .map(|(queue, stream)| (stream, queue))
+        .collect();
+    if queue_map.len() > config.queues {
+        return Err(SimError::StreamsExceedQueues {
+            streams: queue_map.len(),
+            queues: config.queues,
+        });
+    }
+    open_loop_inner(ssd, ops, config, move |stream| {
+        queue_map.get(&stream).copied().unwrap_or(0)
+    })
 }
 
 fn open_loop_inner<S, I>(
@@ -666,6 +724,55 @@ mod tests {
         assert_eq!(report.per_stream[1].latency.count(), 32);
         // The trace spans at least to the last arrival.
         assert!(report.elapsed_ns >= 200_000 + 31 * 100);
+    }
+
+    #[test]
+    fn open_loop_with_refuses_stream_queue_collisions() {
+        let mut ssd = Ssd::new(SsdConfig::small_test(), ExactPageMap::new());
+        // Three distinct streams, two queues: the old `stream % queues`
+        // map would silently fold stream 2 onto stream 0's queue.
+        let trace: Vec<TimedOp> = (0..3u32)
+            .map(|s| TimedOp {
+                at_ns: s as u64 * 100,
+                stream: s,
+                op: HostOp::write(s as u64),
+            })
+            .collect();
+        assert_eq!(
+            replay_open_loop_with(&mut ssd, trace.clone(), DeviceConfig::new(2, 4)).unwrap_err(),
+            SimError::StreamsExceedQueues {
+                streams: 3,
+                queues: 2
+            }
+        );
+        // Enough queues: the dense remap gives each stream its own.
+        let report = replay_open_loop_with(&mut ssd, trace, DeviceConfig::new(3, 4)).unwrap();
+        assert_eq!(report.per_stream.len(), 3);
+        assert_eq!(report.admission_wait_ns, 0, "no QoS controller attached");
+        assert!(report.qos_ticks.is_empty());
+    }
+
+    #[test]
+    fn open_loop_with_remaps_sparse_streams_densely() {
+        let mut ssd = Ssd::new(SsdConfig::small_test(), ExactPageMap::new());
+        // Sparse ids 7 and 300 fit two queues — id values don't matter,
+        // distinct-stream count does.
+        let trace = vec![
+            TimedOp {
+                at_ns: 0,
+                stream: 300,
+                op: HostOp::write(0),
+            },
+            TimedOp {
+                at_ns: 50,
+                stream: 7,
+                op: HostOp::write(1),
+            },
+        ];
+        let report = replay_open_loop_with(&mut ssd, trace, DeviceConfig::new(2, 4)).unwrap();
+        assert_eq!(report.per_stream.len(), 2);
+        assert_eq!(report.per_stream[0].stream, 7);
+        assert_eq!(report.per_stream[1].stream, 300);
     }
 
     #[test]

@@ -53,6 +53,12 @@ pub struct RecoveryReport {
     pub lost_buffered_writes: usize,
     /// Simulated wall time of the recovery scan.
     pub scan_time_ns: u64,
+    /// Lifetime bytes of translation-log traffic (checkpoint and delta
+    /// page programs) the device had written to flash before the crash
+    /// — the map-log background-traffic tax, the control-plane cost
+    /// that competed with host I/O for dies (always 0 outside
+    /// [`CheckpointMode::FlashLog`]).
+    pub maplog_bytes_written: u64,
 }
 
 impl RecoveryReport {
@@ -102,6 +108,10 @@ pub struct Ssd<S: MappingScheme + Clone> {
     /// The flash-resident translation log
     /// ([`CheckpointMode::FlashLog`]'s durability mechanism).
     translog: TransLog<S>,
+    /// Lifetime bytes of translation-log page programs — the map-log
+    /// background-traffic tax (always 0 outside
+    /// [`CheckpointMode::FlashLog`]).
+    maplog_bytes_written: u64,
     pristine_scheme: S,
     /// Completion time of the in-flight asynchronous buffer flush.
     /// A new flush blocks until the previous one drains (double
@@ -178,6 +188,7 @@ impl<S: MappingScheme + Clone> Ssd<S> {
             stats: SimStats::new(),
             snapshot: None,
             translog: TransLog::new(),
+            maplog_bytes_written: 0,
             pristine_scheme,
             scheme,
             flush_deadline_ns: 0,
@@ -273,6 +284,14 @@ impl<S: MappingScheme + Clone> Ssd<S> {
     /// so far (always 0 outside [`CheckpointMode::FlashLog`]).
     pub fn maplog_reclaimed_blocks(&self) -> u64 {
         self.translog.reclaimed_blocks()
+    }
+
+    /// Lifetime bytes of translation-log traffic programmed to flash —
+    /// checkpoint and delta page programs, the map-log background
+    /// traffic that competes with host I/O for dies (always 0 outside
+    /// [`CheckpointMode::FlashLog`]).
+    pub fn maplog_bytes_written(&self) -> u64 {
+        self.maplog_bytes_written
     }
 
     /// Bytes of DRAM the mapping structures currently occupy.
@@ -1569,6 +1588,7 @@ impl<S: MappingScheme + Clone> Ssd<S> {
                         self.config.timing.program_ns,
                     );
                     self.stats.flash.translation_programs += 1;
+                    self.maplog_bytes_written += self.config.geometry.page_size as u64;
                     let block = self.config.geometry.block_of(ppa);
                     if self.translog.note_programmed(seq, block) {
                         self.translog_retention();
@@ -1698,6 +1718,7 @@ impl<S: MappingScheme + Clone> Ssd<S> {
             replayed_log_entries: 0,
             recovered_pages,
             lost_buffered_writes,
+            maplog_bytes_written: self.maplog_bytes_written,
             scan_time_ns: self.clock.now_ns() - scan_start_ns,
         })
     }
@@ -1833,6 +1854,7 @@ impl<S: MappingScheme + Clone> Ssd<S> {
             replayed_log_entries,
             recovered_pages,
             lost_buffered_writes,
+            maplog_bytes_written: self.maplog_bytes_written,
             scan_time_ns: self.clock.now_ns() - scan_start_ns,
         })
     }
@@ -2130,6 +2152,42 @@ mod tests {
                 assert_eq!(ssd.read(Lpa::new(i)).unwrap(), Some(10 * 10_000 + i));
             }
         }
+    }
+
+    #[test]
+    fn maplog_bytes_written_counts_log_programs() {
+        let mut config = SsdConfig::small_test();
+        config.checkpoint_mode = CheckpointMode::FlashLog;
+        let page_size = config.geometry.page_size as u64;
+        let mut ssd = Ssd::new(config, ExactPageMap::new());
+        assert_eq!(ssd.maplog_bytes_written(), 0);
+        for i in 0..256u64 {
+            ssd.write(Lpa::new(i), i).unwrap();
+        }
+        ssd.flush().unwrap();
+        let bytes = ssd.maplog_bytes_written();
+        assert!(bytes > 0, "flash-log flushes must program log pages");
+        assert_eq!(bytes % page_size, 0, "whole page programs only");
+        // Overwrite and crash: the recovery report carries the lifetime
+        // log-traffic tax alongside the reclaim counter.
+        for i in 0..64u64 {
+            ssd.write(Lpa::new(i), 1000 + i).unwrap();
+        }
+        let report = ssd.crash_and_recover().unwrap();
+        assert!(report.maplog_bytes_written >= bytes);
+        assert_eq!(report.maplog_bytes_written % page_size, 0);
+    }
+
+    #[test]
+    fn maplog_bytes_written_zero_under_dram_snapshot() {
+        let mut ssd = ssd();
+        for i in 0..128u64 {
+            ssd.write(Lpa::new(i), i).unwrap();
+        }
+        ssd.take_snapshot();
+        assert_eq!(ssd.maplog_bytes_written(), 0);
+        let report = ssd.crash_and_recover().unwrap();
+        assert_eq!(report.maplog_bytes_written, 0);
     }
 
     #[test]

@@ -32,7 +32,8 @@ pub mod trace_file;
 pub mod zipf;
 
 pub use openloop::{
-    gc_heavy_writer, multi_tenant_trace, sequential_scanner, zipf_tenant, TenantSpec,
+    bursty_writer, gc_bully, gc_heavy_writer, multi_tenant_trace, qos_fleet, sequential_scanner,
+    slo_reader, zipf_tenant, QosFleetSpec, TenantSpec,
 };
 pub use profile::{strided_ops, warmup_ops, ProfileParams, TraceGenerator};
 pub use suites::{

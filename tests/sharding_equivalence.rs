@@ -23,7 +23,7 @@
 
 use leaftl_repro::core::{LeaFtlConfig, MappingScheme, ShardedMapping, PARALLEL_BATCH_MIN};
 use leaftl_repro::flash::{BlockId, Lpa, Ppa};
-use leaftl_repro::sim::{Device, DeviceConfig, LeaFtlScheme, Ssd, SsdConfig};
+use leaftl_repro::sim::{Device, DeviceConfig, LeaFtlScheme, QosSpec, Slo, Ssd, SsdConfig};
 use proptest::collection::vec;
 use proptest::prelude::*;
 use std::collections::HashMap;
@@ -497,6 +497,52 @@ proptest! {
         prop_assert_eq!(qs.lookups, bs.lookups);
         prop_assert_eq!(qs.cache_hits, bs.cache_hits);
         prop_assert_eq!(qs.translation_stall_ns, bs.translation_stall_ns);
+
+        // QoS leg: an active controller on a guaranteed-class queue is
+        // pure observation + arbitration here — one queue leaves the
+        // arbiter no choices, a guaranteed head is never
+        // admission-deferred, and synchronous GC keeps the pacing gate
+        // inert — so the controller must not perturb the timeline by a
+        // single cycle.
+        let mut qos_run = build(shards);
+        let mut qos_completions = Vec::new();
+        {
+            let mut device = Device::new(
+                &mut qos_run,
+                DeviceConfig::single(1)
+                    .with_qos(QosSpec::new(vec![Slo::guaranteed(1_000.0)])),
+            );
+            for op in &ops {
+                match *op {
+                    Some((true, lpa, content)) => {
+                        device.submit_write(Lpa::new(lpa), content).expect("write");
+                    }
+                    Some((false, lpa, _)) => {
+                        device.submit_read(Lpa::new(lpa)).expect("read");
+                    }
+                    None => {
+                        qos_completions.extend(device.drain().expect("drain"));
+                        device
+                            .submit_to(0, leaftl_repro::sim::IoRequest::flush())
+                            .expect("flush");
+                    }
+                }
+            }
+            qos_completions.extend(device.drain().expect("drain"));
+        }
+        qos_completions.sort_by_key(|c| c.id);
+        let qos_reads: Vec<Option<u64>> = qos_completions
+            .iter()
+            .filter(|c| c.kind() == leaftl_repro::sim::IoKind::Read)
+            .map(|c| c.data)
+            .collect();
+        prop_assert_eq!(&qos_reads, &blocking_reads);
+        prop_assert_eq!(device_digest(&qos_run), device_digest(&blocking));
+        prop_assert_eq!(
+            qos_run.now_ns(),
+            blocking.now_ns(),
+            "a QoS controller at queue depth 1 must stay cycle-exact"
+        );
     }
 }
 
