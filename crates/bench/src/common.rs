@@ -6,9 +6,26 @@ use leaftl_core::{LeaFtlConfig, TableStats};
 use leaftl_sim::{
     replay, replay_open_loop, replay_open_loop_with, replay_queued, DeviceConfig, DramPolicy,
     HostOp, LeaFtlScheme, QueuedReplayReport, ReplayReport, SimStats, Ssd, SsdConfig, TimedOp,
+    TrafficClass, UtilizationReport,
 };
 use leaftl_workloads::{warmup_ops, ProfileParams};
 use serde::Serialize;
+use std::path::PathBuf;
+use std::sync::OnceLock;
+
+/// Destination of `--trace <path>`, when given. Every engine-driven
+/// replay attaches the device tracer while this is set; the last
+/// replay's export wins (the file is overwritten per replay).
+static TRACE_PATH: OnceLock<PathBuf> = OnceLock::new();
+
+/// Registers the `--trace` destination (first call wins).
+pub fn set_trace_path(path: PathBuf) {
+    let _ = TRACE_PATH.set(path);
+}
+
+fn trace_path() -> Option<&'static PathBuf> {
+    TRACE_PATH.get()
+}
 
 /// Which FTL scheme an experiment runs.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -83,11 +100,14 @@ impl AnySsd {
         ops: I,
         queue_depth: usize,
     ) -> QueuedReplayReport {
-        match self {
+        self.attach_trace_if_requested();
+        let report = match self {
             AnySsd::Dftl(ssd) => replay_queued(ssd, ops, queue_depth).expect("replay_queued"),
             AnySsd::Sftl(ssd) => replay_queued(ssd, ops, queue_depth).expect("replay_queued"),
             AnySsd::Lea(ssd) => replay_queued(ssd, ops, queue_depth).expect("replay_queued"),
-        }
+        };
+        self.export_trace_if_requested();
+        report
     }
 
     /// Open-loop replay of a timestamped multi-stream trace
@@ -97,11 +117,14 @@ impl AnySsd {
         ops: I,
         queue_depth: usize,
     ) -> QueuedReplayReport {
-        match self {
+        self.attach_trace_if_requested();
+        let report = match self {
             AnySsd::Dftl(ssd) => replay_open_loop(ssd, ops, queue_depth).expect("replay_open_loop"),
             AnySsd::Sftl(ssd) => replay_open_loop(ssd, ops, queue_depth).expect("replay_open_loop"),
             AnySsd::Lea(ssd) => replay_open_loop(ssd, ops, queue_depth).expect("replay_open_loop"),
-        }
+        };
+        self.export_trace_if_requested();
+        report
     }
 
     /// Open-loop replay under a full device shape — queue count,
@@ -111,7 +134,8 @@ impl AnySsd {
         ops: I,
         config: DeviceConfig,
     ) -> QueuedReplayReport {
-        match self {
+        self.attach_trace_if_requested();
+        let report = match self {
             AnySsd::Dftl(ssd) => {
                 replay_open_loop_with(ssd, ops, config).expect("replay_open_loop_with")
             }
@@ -120,6 +144,42 @@ impl AnySsd {
             }
             AnySsd::Lea(ssd) => {
                 replay_open_loop_with(ssd, ops, config).expect("replay_open_loop_with")
+            }
+        };
+        self.export_trace_if_requested();
+        report
+    }
+
+    /// Attaches the event tracer ahead of an engine-driven replay when
+    /// `--trace` was given (no-op — and zero-cost — otherwise).
+    fn attach_trace_if_requested(&mut self) {
+        if trace_path().is_none() {
+            return;
+        }
+        match self {
+            AnySsd::Dftl(ssd) => ssd.attach_trace(),
+            AnySsd::Sftl(ssd) => ssd.attach_trace(),
+            AnySsd::Lea(ssd) => ssd.attach_trace(),
+        }
+    }
+
+    /// Exports and detaches the tracer after a replay, overwriting the
+    /// `--trace` destination (the last traced replay wins).
+    fn export_trace_if_requested(&mut self) {
+        let Some(path) = trace_path() else { return };
+        let sink = match self {
+            AnySsd::Dftl(ssd) => ssd.take_trace(),
+            AnySsd::Sftl(ssd) => ssd.take_trace(),
+            AnySsd::Lea(ssd) => ssd.take_trace(),
+        };
+        if let Some(sink) = sink {
+            match std::fs::write(path, sink.export_chrome_json()) {
+                Ok(()) => eprintln!(
+                    "[trace] {} events -> {} (open at https://ui.perfetto.dev)",
+                    sink.len(),
+                    path.display()
+                ),
+                Err(e) => eprintln!("[trace] cannot write {}: {e}", path.display()),
             }
         }
     }
@@ -145,6 +205,21 @@ impl AnySsd {
             AnySsd::Dftl(ssd) => ssd.stats(),
             AnySsd::Sftl(ssd) => ssd.stats(),
             AnySsd::Lea(ssd) => ssd.stats(),
+        }
+    }
+
+    /// Asserts the device-timeline conservation invariant: per-die
+    /// attributed op counts and busy-ns must equal the `SimStats` flash
+    /// breakdown exactly. Experiments call this after every
+    /// engine-driven replay so a broken attribution fails loudly.
+    pub fn assert_utilization_conserved(&self, context: &str) {
+        let check = match self {
+            AnySsd::Dftl(ssd) => ssd.check_utilization_conservation(),
+            AnySsd::Sftl(ssd) => ssd.check_utilization_conservation(),
+            AnySsd::Lea(ssd) => ssd.check_utilization_conservation(),
+        };
+        if let Err(e) = check {
+            panic!("utilization conservation violated ({context}): {e}");
         }
     }
 
@@ -434,6 +509,27 @@ pub fn build_mapping_state(kind: SchemeKind, profile: &ProfileParams, scale: &Sc
     ssd.replay(writes);
     ssd.flush();
     ssd
+}
+
+/// Per-class busy-time attribution of a replay as a JSON record — the
+/// per-die utilization breakdown experiments surface next to latency
+/// numbers (the Fig. 18/23-style host-vs-background attribution).
+pub fn utilization_json(util: &UtilizationReport) -> serde_json::Value {
+    let classes: Vec<serde_json::Value> = TrafficClass::ALL
+        .iter()
+        .map(|&class| {
+            serde_json::json!({
+                "class": class.label(),
+                "busy_ns": util.class_busy_ns(class),
+                "share": util.class_share(class),
+            })
+        })
+        .collect();
+    serde_json::json!({
+        "dies": util.dies.len(),
+        "total_busy_ns": util.total_busy_ns(),
+        "classes": classes,
+    })
 }
 
 /// Prints an aligned text table.

@@ -31,7 +31,7 @@
 //! enabled so the map-log background-traffic tax rides the same
 //! dies — reported per tenant class alongside the latency numbers.
 
-use crate::common::{print_table, AnySsd, Scale, SchemeKind, SEED};
+use crate::common::{print_table, utilization_json, AnySsd, Scale, SchemeKind, SEED};
 use leaftl_sim::{
     CheckpointMode, DeviceConfig, DramPolicy, HostPriority, LatencyHistogram, QosControllerConfig,
     QosSpec, RoundRobin, Slo, SloClass, Weighted,
@@ -179,6 +179,8 @@ pub fn qos(quick: bool) -> Value {
         };
         let mut ssd = base.clone();
         let report = ssd.replay_open_loop_with(trace.clone(), device);
+        // Every device nanosecond must belong to a traffic class.
+        ssd.assert_utilization_conserved(name);
 
         let mut agg = [ClassAgg::new(), ClassAgg::new()];
         let mut guaranteed_streams = Vec::new();
@@ -305,6 +307,7 @@ pub fn qos(quick: bool) -> Value {
                 "max_guaranteed_weight": max_guar_weight,
                 "min_best_effort_weight": min_be_weight,
             },
+            "utilization": utilization_json(&report.utilization),
         }));
     }
     print_table(

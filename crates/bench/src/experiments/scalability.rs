@@ -12,7 +12,7 @@
 //!    QD=32; reports per-tenant mean/p99 so mapping-scheme overheads
 //!    show up where they hurt — in the colocated tail.
 
-use crate::common::{print_table, AnySsd, Scale, SchemeKind, SEED};
+use crate::common::{print_table, utilization_json, AnySsd, Scale, SchemeKind, SEED};
 use leaftl_sim::DramPolicy;
 use leaftl_workloads::{
     multi_tenant_trace, oltp, sequential_scanner, warmup_ops, zipf_tenant, TenantSpec,
@@ -70,9 +70,13 @@ pub fn scalability(quick: bool) -> Value {
         let mut depth_p999 = Vec::new();
         let mut row = vec![kind.label()];
         row.push(format!("{:.0}", blocking));
+        let mut deepest_utilization = None;
         for &depth in &DEPTHS {
             let mut ssd = base.clone();
             let report = ssd.replay_queued(ops.clone(), depth);
+            // Every device nanosecond must belong to a traffic class.
+            ssd.assert_utilization_conserved(&format!("{} QD={depth}", kind.label()));
+            deepest_utilization = Some(utilization_json(&report.utilization));
             depth_iops.push(report.iops());
             depth_p50.push(report.p50_latency_us());
             depth_p99.push(report.p99_latency_us());
@@ -94,6 +98,7 @@ pub fn scalability(quick: bool) -> Value {
             "p99_latency_us": depth_p99,
             "p999_latency_us": depth_p999,
             "blocking_iops": blocking,
+            "utilization_qd32": deepest_utilization,
         }));
     }
     print_table(
@@ -119,6 +124,7 @@ pub fn scalability(quick: bool) -> Value {
         let logical = ssd.config_logical_pages();
         let trace = multi_tenant_trace(&tenants, logical, SEED);
         let report = ssd.replay_open_loop(trace, 32);
+        ssd.assert_utilization_conserved(&format!("{} multi-tenant", kind.label()));
         let mut row = vec![kind.label(), format!("{:.0}", report.iops())];
         let mut streams = Vec::new();
         for stream in &report.per_stream {
@@ -141,6 +147,7 @@ pub fn scalability(quick: bool) -> Value {
             "scheme": kind.label(),
             "iops": report.iops(),
             "streams": streams,
+            "utilization": utilization_json(&report.utilization),
         }));
     }
     print_table(

@@ -68,11 +68,17 @@ impl SimClock {
     /// grant order is the caller's scheduling policy, which is exactly
     /// where the pipelined read path reorders lookups.
     pub fn cpu_after(&mut self, cpu: usize, earliest_ns: u64, cost_ns: u64) -> u64 {
+        self.cpu_reserve(cpu, earliest_ns, cost_ns).1
+    }
+
+    /// Like [`SimClock::cpu_after`], but returns the `(start, end)`
+    /// pair of the reservation so tracing can render it as a span.
+    pub fn cpu_reserve(&mut self, cpu: usize, earliest_ns: u64, cost_ns: u64) -> (u64, u64) {
         let busy = &mut self.cpu_busy_until[cpu];
         let start = (*busy).max(earliest_ns);
         let end = start + cost_ns;
         *busy = end;
-        end
+        (start, end)
     }
 
     /// When translation CPU `cpu` next falls idle.
@@ -104,11 +110,18 @@ impl SimClock {
     /// returns its completion time. The die's timeline advances; the
     /// global clock does not.
     pub fn schedule_after(&mut self, die: Die, earliest_ns: u64, latency_ns: u64) -> u64 {
+        self.reserve(die, earliest_ns, latency_ns).1
+    }
+
+    /// Like [`SimClock::schedule_after`], but returns the `(start,
+    /// end)` pair of the die-timeline reservation so tracing can render
+    /// it as a span on the die's track.
+    pub fn reserve(&mut self, die: Die, earliest_ns: u64, latency_ns: u64) -> (u64, u64) {
         let busy = &mut self.die_busy_until[die.raw() as usize];
         let start = (*busy).max(earliest_ns);
         let end = start + latency_ns;
         *busy = end;
-        end
+        (start, end)
     }
 
     /// Blocks the host until `deadline_ns` (no-op if already past).

@@ -81,6 +81,7 @@ use crate::mapping::MappingScheme;
 use crate::qos::{QosController, QosSpec, QosTick, SloClass};
 use crate::request::{Command, IoCompletion, IoRequest};
 use crate::ssd::Ssd;
+use crate::trace::ArgValue;
 use leaftl_flash::{BlockId, Lpa};
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashSet, VecDeque};
@@ -160,6 +161,12 @@ pub struct DeviceConfig {
     /// admission ([`crate::QosSpec`]). `None` (the default) leaves the
     /// device byte-identical to pre-QoS behaviour.
     pub qos: Option<QosSpec>,
+    /// Attach a [`crate::TraceSink`] to the SSD for the device's
+    /// lifetime: every die reservation, command lifecycle and
+    /// control-plane decision is recorded for
+    /// [`crate::TraceSink::export_chrome_json`]. Purely observational —
+    /// scheduling and results are bit-identical either way.
+    pub trace: bool,
 }
 
 impl DeviceConfig {
@@ -174,6 +181,7 @@ impl DeviceConfig {
             compaction: CompactionScheduler::default(),
             arbiter: Box::new(RoundRobin::new()),
             qos: None,
+            trace: false,
         }
     }
 
@@ -231,6 +239,14 @@ impl DeviceConfig {
     /// still applies).
     pub fn with_qos(mut self, qos: QosSpec) -> Self {
         self.qos = Some(qos);
+        self
+    }
+
+    /// Enables timeline tracing for the device's lifetime (see
+    /// [`DeviceConfig::trace`]). Collect the recording afterwards with
+    /// [`crate::Ssd::take_trace`].
+    pub fn with_trace(mut self) -> Self {
+        self.trace = true;
         self
     }
 }
@@ -363,6 +379,9 @@ impl<'a, S: MappingScheme + Clone> Device<'a, S> {
     pub fn new(ssd: &'a mut Ssd<S>, config: DeviceConfig) -> Self {
         ssd.set_gc_mode(config.gc_mode);
         ssd.set_compaction_mode(config.compaction_mode);
+        if config.trace {
+            ssd.attach_trace();
+        }
         let shard_count = ssd.shard_count();
         let mut queues = Vec::with_capacity(config.queues);
         queues.resize_with(config.queues, HostQueue::default);
@@ -692,6 +711,17 @@ impl<'a, S: MappingScheme + Clone> Device<'a, S> {
                 / geometry.pages_per_block as f64)
                 .max(1.0 / geometry.pages_per_block as f64);
             self.gc_pending_net_blocks += net_blocks;
+            if self.ssd.trace_enabled() {
+                let now = self.ssd.now_ns();
+                self.ssd.tracer_mut().control_instant(
+                    "gc_select",
+                    now,
+                    vec![
+                        ("victim", ArgValue::U64(victim.raw() as u64)),
+                        ("net_blocks", ArgValue::F64(net_blocks)),
+                    ],
+                );
+            }
             self.gc_pending.push_back(PendingMigration {
                 victim,
                 selected_erase_count: self.ssd.erase_count(victim),
@@ -730,6 +760,18 @@ impl<'a, S: MappingScheme + Clone> Device<'a, S> {
             if self.compaction.due(pressure.levels, pressure.segments) {
                 self.compact_queued.insert(shard);
                 self.compact_pending.push_back(shard);
+                if self.ssd.trace_enabled() {
+                    let now = self.ssd.now_ns();
+                    self.ssd.tracer_mut().control_instant(
+                        "compact_select",
+                        now,
+                        vec![
+                            ("shard", ArgValue::U64(shard as u64)),
+                            ("levels", ArgValue::U64(pressure.levels as u64)),
+                            ("segments", ArgValue::U64(pressure.segments as u64)),
+                        ],
+                    );
+                }
             }
         }
     }
@@ -753,6 +795,15 @@ impl<'a, S: MappingScheme + Clone> Device<'a, S> {
         // again, this shard cannot be re-queued.
         self.compact_stamp[shard] = Some(self.ssd.shard_pressure(shard));
         self.compact_dispatched += 1;
+        if self.ssd.trace_enabled() {
+            self.ssd.tracer_mut().queue_span(
+                COMPACT_QUEUE,
+                "compact",
+                dispatch_ns,
+                deadline,
+                vec![("shard", ArgValue::U64(shard as u64))],
+            );
+        }
         let id = self.next_id;
         self.next_id += 1;
         self.completed.push(IoCompletion {
@@ -796,6 +847,15 @@ impl<'a, S: MappingScheme + Clone> Device<'a, S> {
         self.gc_inflight.push(Reverse(deadline));
         self.gc_busy_until = self.gc_busy_until.max(deadline);
         self.gc_dispatched += 1;
+        if self.ssd.trace_enabled() {
+            self.ssd.tracer_mut().queue_span(
+                GC_QUEUE,
+                "gc_migrate",
+                dispatch_ns,
+                deadline,
+                vec![("victim", ArgValue::U64(victim.raw() as u64))],
+            );
+        }
         let id = self.next_id;
         self.next_id += 1;
         self.completed.push(IoCompletion {
@@ -830,6 +890,15 @@ impl<'a, S: MappingScheme + Clone> Device<'a, S> {
             self.gc_busy_until = self.gc_busy_until.max(deadline);
         }
         self.maplog_dispatched += 1;
+        if self.ssd.trace_enabled() {
+            self.ssd.tracer_mut().queue_span(
+                MAPLOG_QUEUE,
+                dispatch.label,
+                dispatch_ns,
+                deadline,
+                vec![("seq", ArgValue::U64(dispatch.seq))],
+            );
+        }
         let id = self.next_id;
         self.next_id += 1;
         self.completed.push(IoCompletion {
@@ -877,7 +946,15 @@ impl<'a, S: MappingScheme + Clone> Device<'a, S> {
                 // Wait for the earliest in-flight erase to land.
                 let stall_from = self.ssd.now_ns();
                 self.ssd.advance_to(erase_done);
-                self.gc_stall_ns += self.ssd.now_ns().saturating_sub(stall_from);
+                let stalled = self.ssd.now_ns().saturating_sub(stall_from);
+                self.gc_stall_ns += stalled;
+                if stalled > 0 && self.ssd.trace_enabled() {
+                    self.ssd.tracer_mut().control_instant(
+                        "gc_stall",
+                        erase_done,
+                        vec![("stall_ns", ArgValue::U64(stalled))],
+                    );
+                }
                 continue;
             }
             self.replenish_gc();
@@ -926,6 +1003,25 @@ impl<'a, S: MappingScheme + Clone> Device<'a, S> {
         qos.tick(now, gc_stall, translation_stall, settled);
         for queue in 0..self.queues.len() {
             self.arbiter.set_weight(queue, qos.weight(queue));
+        }
+        if self.ssd.trace_enabled() {
+            let args = self
+                .qos
+                .as_ref()
+                .and_then(|qos| qos.last_tick())
+                .map(|tick| {
+                    vec![
+                        ("worst_error", ArgValue::F64(tick.worst_error)),
+                        (
+                            "settled_free_fraction",
+                            ArgValue::F64(tick.settled_free_fraction),
+                        ),
+                        ("gc_stall_delta_ns", ArgValue::U64(tick.gc_stall_delta_ns)),
+                        ("be_weight", ArgValue::U64(tick.best_effort_weight as u64)),
+                    ]
+                })
+                .unwrap_or_default();
+            self.ssd.tracer_mut().control_instant("qos_tick", now, args);
         }
     }
 
@@ -998,9 +1094,26 @@ impl<'a, S: MappingScheme + Clone> Device<'a, S> {
                         deferred_any = true;
                         if self.admission_deferred_since[queue].is_none() {
                             self.admission_deferred_since[queue] = Some(now);
+                            if self.ssd.trace_enabled() {
+                                self.ssd.tracer_mut().control_instant(
+                                    "admission_defer",
+                                    now,
+                                    vec![("queue", ArgValue::U64(queue as u64))],
+                                );
+                            }
                         }
                     } else if let Some(since) = self.admission_deferred_since[queue].take() {
                         self.admission_wait_ns[queue] += now.saturating_sub(since);
+                        if self.ssd.trace_enabled() {
+                            self.ssd.tracer_mut().control_instant(
+                                "admission_resume",
+                                now,
+                                vec![
+                                    ("queue", ArgValue::U64(queue as u64)),
+                                    ("waited_ns", ArgValue::U64(now.saturating_sub(since))),
+                                ],
+                            );
+                        }
                     }
                 }
                 self.view_scratch.push(QueueView {
@@ -1100,7 +1213,18 @@ impl<'a, S: MappingScheme + Clone> Device<'a, S> {
         // loop normally closes it when the gate clears; this is the
         // backstop so the accounting can never leak across commands).
         if let Some(since) = self.admission_deferred_since[queue].take() {
-            self.admission_wait_ns[queue] += self.ssd.now_ns().saturating_sub(since);
+            let now = self.ssd.now_ns();
+            self.admission_wait_ns[queue] += now.saturating_sub(since);
+            if self.ssd.trace_enabled() {
+                self.ssd.tracer_mut().control_instant(
+                    "admission_resume",
+                    now,
+                    vec![
+                        ("queue", ArgValue::U64(queue as u64)),
+                        ("waited_ns", ArgValue::U64(now.saturating_sub(since))),
+                    ],
+                );
+            }
         }
         let head = self.queues[queue]
             .pending
@@ -1196,6 +1320,34 @@ impl<'a, S: MappingScheme + Clone> Device<'a, S> {
             if qos.class(queue) == SloClass::BestEffort {
                 self.be_inflight.push(Reverse(complete_ns));
             }
+        }
+        if self.ssd.trace_enabled() {
+            let name = match req.command {
+                Command::Read { .. } => "read",
+                Command::Write { .. } => "write",
+                Command::Flush => "flush",
+                _ => "host",
+            };
+            let tracer = self.ssd.tracer_mut();
+            if dispatch_ns > req.arrival_ns {
+                tracer.queue_span(
+                    queue as u32,
+                    "wait",
+                    req.arrival_ns,
+                    dispatch_ns,
+                    Vec::new(),
+                );
+            }
+            tracer.queue_span(
+                queue as u32,
+                name,
+                dispatch_ns,
+                complete_ns,
+                vec![
+                    ("stream", ArgValue::U64(req.stream as u64)),
+                    ("gc_overlap", ArgValue::U64(gc_overlap as u64)),
+                ],
+            );
         }
         self.completed.push(IoCompletion {
             id,

@@ -68,6 +68,7 @@ mod replay;
 mod request;
 mod ssd;
 mod stats;
+mod trace;
 mod translog;
 pub mod validity;
 
@@ -89,3 +90,7 @@ pub use replay::{
 pub use request::{Command, IoCompletion, IoKind, IoRequest};
 pub use ssd::{RecoveryReport, Ssd};
 pub use stats::{FlashOpBreakdown, LatencyHistogram, SimStats};
+pub use trace::{
+    validate_chrome_trace, DieUtilization, FlashOpKind, TraceCheck, TraceSink, TrafficClass,
+    UtilizationReport,
+};

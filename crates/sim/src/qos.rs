@@ -474,6 +474,12 @@ impl QosController {
     pub fn ticks(&self) -> &[QosTick] {
         &self.ticks
     }
+
+    /// The most recent control tick, if any (the device's trace layer
+    /// stamps its `qos_tick` instant events from this).
+    pub fn last_tick(&self) -> Option<&QosTick> {
+        self.ticks.last()
+    }
 }
 
 #[cfg(test)]

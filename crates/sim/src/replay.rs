@@ -27,6 +27,7 @@ use crate::qos::QosTick;
 use crate::request::{IoKind, IoRequest};
 use crate::ssd::Ssd;
 use crate::stats::{LatencyHistogram, SimStats};
+use crate::trace::UtilizationReport;
 use leaftl_flash::Lpa;
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
@@ -262,6 +263,10 @@ pub struct QueuedReplayReport {
     pub qos_ticks: Vec<QosTick>,
     /// Statistics snapshot at the end of the replay.
     pub stats: SimStats,
+    /// Per-die busy-time attribution (host/GC/compaction/maplog) over
+    /// the replay — the device-timeline accounting behind the Perfetto
+    /// exporter, always on.
+    pub utilization: UtilizationReport,
 }
 
 impl QueuedReplayReport {
@@ -440,6 +445,7 @@ where
         admission_wait_ns: admission_waits.iter().sum(),
         qos_ticks,
         stats: ssd.stats().clone(),
+        utilization: ssd.utilization().clone(),
     })
 }
 

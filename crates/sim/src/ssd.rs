@@ -9,6 +9,7 @@ use crate::error::SimError;
 use crate::lru::LruCache;
 use crate::mapping::{MapCost, MappingLookup, MappingScheme, ShardPressure};
 use crate::stats::SimStats;
+use crate::trace::{FlashOpKind, TraceSink, Tracer, TrafficClass, UtilizationReport};
 use crate::translog::{LogOp, LogPayload, TransLog};
 use crate::validity::Validity;
 use leaftl_flash::{BlockId, Die, FlashDevice, Lpa, Ppa};
@@ -126,6 +127,9 @@ pub struct Ssd<S: MappingScheme + Clone> {
     /// Whether learned-table compaction runs inline in the flush path
     /// or as scheduled [`crate::Command::Compact`] device traffic.
     compaction_mode: CompactionMode,
+    /// Per-die utilization attribution (always on) plus the optional
+    /// timeline event sink (see [`crate::trace`]).
+    tracer: Tracer,
 }
 
 /// The state half of a resolved read: which pages must be read (in
@@ -195,6 +199,7 @@ impl<S: MappingScheme + Clone> Ssd<S> {
             block_last_write_ns: vec![0; config.geometry.blocks as usize],
             gc_mode: GcMode::Synchronous,
             compaction_mode: CompactionMode::Inline,
+            tracer: Tracer::new(config.geometry.total_dies()),
             config,
         }
     }
@@ -254,9 +259,73 @@ impl<S: MappingScheme + Clone> Ssd<S> {
     }
 
     /// Resets the statistics (e.g. after a warm-up phase) without
-    /// touching device state.
+    /// touching device state. The per-die utilization counters reset
+    /// together with [`SimStats`] so the two always describe the same
+    /// measurement window; an attached [`TraceSink`] keeps recording.
     pub fn reset_stats(&mut self) {
         self.stats = SimStats::new();
+        self.tracer.util.reset();
+    }
+
+    /// Per-die utilization attribution: busy nanoseconds and operation
+    /// counts per traffic class, cumulative over the current
+    /// measurement window (see [`Ssd::reset_stats`]). Conserved against
+    /// [`SimStats`] — see [`UtilizationReport::check_conservation`].
+    pub fn utilization(&self) -> &UtilizationReport {
+        &self.tracer.util
+    }
+
+    /// Attaches a timeline event sink. From here on, every die
+    /// reservation, shard-CPU occupation, command lifecycle span and
+    /// control-plane decision is recorded until [`Ssd::take_trace`]
+    /// detaches it. Tracing is observational only: scheduling decisions
+    /// and virtual-time results are unchanged.
+    pub fn attach_trace(&mut self) {
+        self.tracer.sink = Some(TraceSink::new(
+            self.config.geometry.total_dies(),
+            self.clock.cpus() as u32,
+        ));
+    }
+
+    /// Detaches and returns the event sink, if one was attached.
+    pub fn take_trace(&mut self) -> Option<TraceSink> {
+        self.tracer.sink.take()
+    }
+
+    /// Verifies the utilization conservation invariant against the
+    /// live stats counters: summed over traffic classes, the per-die
+    /// attributed operation counts and busy nanoseconds must equal the
+    /// [`crate::SimStats`] flash breakdown exactly.
+    ///
+    /// # Errors
+    ///
+    /// A description of the first violated equation.
+    pub fn check_utilization_conservation(&self) -> Result<(), String> {
+        self.tracer
+            .util
+            .check_conservation(&self.stats.flash, &self.config.timing)
+    }
+
+    /// Whether an event sink is currently attached.
+    pub fn trace_enabled(&self) -> bool {
+        self.tracer.enabled()
+    }
+
+    /// The tracer, for the [`crate::Device`]'s queue/control events.
+    pub(crate) fn tracer_mut(&mut self) -> &mut Tracer {
+        &mut self.tracer
+    }
+
+    /// Accounts one flash operation that was just scheduled to finish
+    /// at `end_ns` on `die`: utilization counters always, a die-track
+    /// span when a sink is attached. Every `stats.flash` increment
+    /// pairs with exactly one such call — that 1:1 pairing is the
+    /// conservation invariant.
+    #[inline]
+    fn note_flash_op(&mut self, class: TrafficClass, kind: FlashOpKind, die: Die, end_ns: u64) {
+        let latency = kind.latency_ns(&self.config.timing);
+        self.tracer
+            .flash_op(class, kind, die.raw(), end_ns, latency);
     }
 
     /// Current virtual time in nanoseconds.
@@ -335,25 +404,29 @@ impl<S: MappingScheme + Clone> Ssd<S> {
     /// Charges translation I/O with the host blocked on the reads
     /// (legacy blocking call sites: flush-side maintenance).
     fn charge_map_cost(&mut self, lpa: Lpa, cost: MapCost) {
-        let ready = self.charge_map_cost_at(lpa, cost, self.clock.now_ns());
+        let now = self.clock.now_ns();
+        let ready = self.charge_map_cost_at_class(lpa, cost, now, TrafficClass::Compact);
         self.clock.wait_until(ready);
     }
 
     /// Translation I/O issued from the asynchronous flush path: it
     /// occupies dies (delaying future reads) without blocking the host
-    /// directly.
-    fn charge_map_cost_background(&mut self, lpa: Lpa, cost: MapCost) {
+    /// directly. `class` attributes the die time to whoever triggered
+    /// the mapping update (host flush, GC re-learning, compaction).
+    fn charge_map_cost_background(&mut self, lpa: Lpa, cost: MapCost, class: TrafficClass) {
         if cost.translation_reads == 0 && cost.translation_writes == 0 {
             return;
         }
         let die = self.translation_die(lpa);
         for _ in 0..cost.translation_reads {
-            self.clock.schedule(die, self.config.timing.read_ns);
+            let end = self.clock.schedule(die, self.config.timing.read_ns);
             self.stats.flash.translation_reads += 1;
+            self.note_flash_op(class, FlashOpKind::Read, die, end);
         }
         for _ in 0..cost.translation_writes {
-            self.clock.schedule(die, self.config.timing.program_ns);
+            let end = self.clock.schedule(die, self.config.timing.program_ns);
             self.stats.flash.translation_programs += 1;
+            self.note_flash_op(class, FlashOpKind::Program, die, end);
         }
     }
 
@@ -361,7 +434,17 @@ impl<S: MappingScheme + Clone> Ssd<S> {
     /// reads serialise after `ready_ns` (the request waits on them),
     /// write-backs are fired asynchronously at the same floor. Returns
     /// the request's new ready time. The global clock does not move.
-    fn charge_map_cost_at(&mut self, lpa: Lpa, cost: MapCost, mut ready_ns: u64) -> u64 {
+    fn charge_map_cost_at(&mut self, lpa: Lpa, cost: MapCost, ready_ns: u64) -> u64 {
+        self.charge_map_cost_at_class(lpa, cost, ready_ns, TrafficClass::Host)
+    }
+
+    fn charge_map_cost_at_class(
+        &mut self,
+        lpa: Lpa,
+        cost: MapCost,
+        mut ready_ns: u64,
+        class: TrafficClass,
+    ) -> u64 {
         if cost.translation_reads == 0 && cost.translation_writes == 0 {
             return ready_ns;
         }
@@ -371,13 +454,16 @@ impl<S: MappingScheme + Clone> Ssd<S> {
                 .clock
                 .schedule_after(die, ready_ns, self.config.timing.read_ns);
             self.stats.flash.translation_reads += 1;
+            self.note_flash_op(class, FlashOpKind::Read, die, ready_ns);
         }
         for _ in 0..cost.translation_writes {
             // Write-backs are asynchronous: they occupy the die but do
             // not extend the request.
-            self.clock
+            let end = self
+                .clock
                 .schedule_after(die, ready_ns, self.config.timing.program_ns);
             self.stats.flash.translation_programs += 1;
+            self.note_flash_op(class, FlashOpKind::Program, die, end);
         }
         ready_ns
     }
@@ -573,9 +659,11 @@ impl<S: MappingScheme + Clone> Ssd<S> {
             else {
                 unreachable!("grant_order holds flash outcomes only");
             };
-            let cpu_done = self.clock.cpu_after(*shard, ready[index], *cpu_ns);
+            let (_, cpu_done) = self.clock.cpu_reserve(*shard, ready[index], *cpu_ns);
             self.stats.translation_stall_ns += cpu_done - cpu_ns - ready[index];
-            ready[index] = self.schedule_probes(probes, cpu_done);
+            self.tracer
+                .cpu_span(*shard, "lookup", cpu_done, *cpu_ns, TrafficClass::Host);
+            ready[index] = self.schedule_probes(probes, cpu_done, TrafficClass::Host);
         }
 
         let mut results = Vec::with_capacity(outcomes.len());
@@ -635,14 +723,17 @@ impl<S: MappingScheme + Clone> Ssd<S> {
         let cpu_ns = self.config.lookup_base_ns
             + self.config.lookup_per_level_ns * hit.levels_visited.saturating_sub(1) as u64;
         let shard = self.scheme.shard_of(lpa).min(self.clock.cpus() - 1);
-        let cpu_done = self.clock.cpu_after(shard, ready, cpu_ns);
+        let (_, cpu_done) = self.clock.cpu_reserve(shard, ready, cpu_ns);
         self.stats.translation_stall_ns += cpu_done - cpu_ns - ready;
+        self.tracer
+            .cpu_span(shard, "lookup", cpu_done, cpu_ns, TrafficClass::Host);
         ready = cpu_done;
         self.stats.lookup_cpu_ns += cpu_ns;
         self.stats.lookups += 1;
         self.stats.record_lookup_levels(hit.levels_visited);
 
-        let (_, content, mispredicted, ready) = self.resolve_read_at(lpa, &hit, true, ready)?;
+        let (_, content, mispredicted, ready) =
+            self.resolve_read_at(lpa, &hit, true, ready, TrafficClass::Host)?;
         if mispredicted {
             self.stats.mispredictions += 1;
         }
@@ -670,20 +761,22 @@ impl<S: MappingScheme + Clone> Ssd<S> {
         hit: &MappingLookup,
         host_read: bool,
         mut ready_ns: u64,
+        class: TrafficClass,
     ) -> Result<(Ppa, u64, bool, u64), SimError> {
         let plan = self.plan_read_probes(lpa, hit, host_read)?;
-        ready_ns = self.schedule_probes(&plan.probes, ready_ns);
+        ready_ns = self.schedule_probes(&plan.probes, ready_ns, class);
         Ok((plan.exact, plan.content, plan.mispredicted, ready_ns))
     }
 
     /// Chains `probes` flash reads on a request's dependency chain
     /// starting at `ready_ns`; returns the chain's completion time.
-    fn schedule_probes(&mut self, probes: &[Ppa], mut ready_ns: u64) -> u64 {
+    fn schedule_probes(&mut self, probes: &[Ppa], mut ready_ns: u64, class: TrafficClass) -> u64 {
         for &ppa in probes {
             let die = self.config.geometry.die_of(ppa);
             ready_ns = self
                 .clock
                 .schedule_after(die, ready_ns, self.config.timing.read_ns);
+            self.note_flash_op(class, FlashOpKind::Read, die, ready_ns);
         }
         ready_ns
     }
@@ -790,7 +883,8 @@ impl<S: MappingScheme + Clone> Ssd<S> {
         }
         self.stats.lookups += 1;
         let floor = self.clock.now_ns();
-        let (ppa, _, mispredicted, ready) = self.resolve_read_at(lpa, hit, false, floor)?;
+        let (ppa, _, mispredicted, ready) =
+            self.resolve_read_at(lpa, hit, false, floor, TrafficClass::Host)?;
         self.clock.wait_until(ready);
         if mispredicted {
             self.stats.mispredictions += 1;
@@ -880,12 +974,11 @@ impl<S: MappingScheme + Clone> Ssd<S> {
                 let (lpa, content) = pages[idx];
                 idx += 1;
                 self.device.program(ppa, content, Some(lpa))?;
-                let end = self.clock.schedule(
-                    self.config.geometry.die_of(ppa),
-                    self.config.timing.program_ns,
-                );
+                let die = self.config.geometry.die_of(ppa);
+                let end = self.clock.schedule(die, self.config.timing.program_ns);
                 deadline = deadline.max(end);
                 self.stats.flash.data_programs += 1;
+                self.note_flash_op(TrafficClass::Host, FlashOpKind::Program, die, end);
                 self.note_block_write(ppa);
                 batch.push((lpa, ppa));
             }
@@ -898,7 +991,7 @@ impl<S: MappingScheme + Clone> Ssd<S> {
             self.invalidate_via_lookup(batch)?;
         }
         for batch in &batches {
-            self.learn_and_mark(batch, sorted);
+            self.learn_and_mark(batch, sorted, TrafficClass::Host);
         }
 
         // Journal the flush's installed mappings: one delta entry per
@@ -949,7 +1042,7 @@ impl<S: MappingScheme + Clone> Ssd<S> {
     fn invalidate_via_lookup(&mut self, batch: &[(Lpa, Ppa)]) -> Result<(), SimError> {
         for &(lpa, _) in batch {
             let (hit, cost) = self.scheme.lookup(lpa);
-            self.charge_map_cost_background(lpa, cost);
+            self.charge_map_cost_background(lpa, cost, TrafficClass::Host);
             if let Some(hit) = hit {
                 let old = self.resolve_for_invalidation(lpa, &hit)?;
                 self.validity.invalidate(old);
@@ -964,7 +1057,7 @@ impl<S: MappingScheme + Clone> Ssd<S> {
     /// the controller CPU alongside the asynchronous flush, so it is
     /// accounted but does not block the host (§4.5: 0.02% of the flash
     /// write latency).
-    fn learn_and_mark(&mut self, batch: &[(Lpa, Ppa)], sorted: bool) {
+    fn learn_and_mark(&mut self, batch: &[(Lpa, Ppa)], sorted: bool, class: TrafficClass) {
         if batch.is_empty() {
             return;
         }
@@ -973,7 +1066,7 @@ impl<S: MappingScheme + Clone> Ssd<S> {
         } else {
             self.scheme.update_batch(batch)
         };
-        self.charge_map_cost_background(batch[0].0, cost);
+        self.charge_map_cost_background(batch[0].0, cost, class);
         let learn_ns = self.scheme.learn_cost_ns(batch.len());
         self.stats.learn_cpu_ns += learn_ns;
         for &(_, ppa) in batch {
@@ -1147,11 +1240,11 @@ impl<S: MappingScheme + Clone> Ssd<S> {
             let mut items: Vec<(Lpa, u64, u64)> = Vec::with_capacity(valid.len());
             for &ppa in &valid {
                 let view = self.device.read(ppa)?;
-                let end = self
-                    .clock
-                    .schedule(self.config.geometry.die_of(ppa), self.config.timing.read_ns);
+                let die = self.config.geometry.die_of(ppa);
+                let end = self.clock.schedule(die, self.config.timing.read_ns);
                 reads_done = reads_done.max(end);
                 self.stats.flash.gc_reads += 1;
+                self.note_flash_op(TrafficClass::Gc, FlashOpKind::Read, die, end);
                 let lpa = view.lpa.expect("data pages always carry a reverse mapping");
                 items.push((lpa, view.content, view.seq));
             }
@@ -1185,13 +1278,13 @@ impl<S: MappingScheme + Clone> Ssd<S> {
                     let (lpa, content) = items[idx];
                     idx += 1;
                     self.device.program(ppa, content, Some(lpa))?;
-                    let end = self.clock.schedule_after(
-                        self.config.geometry.die_of(ppa),
-                        reads_done,
-                        self.config.timing.program_ns,
-                    );
+                    let die = self.config.geometry.die_of(ppa);
+                    let end =
+                        self.clock
+                            .schedule_after(die, reads_done, self.config.timing.program_ns);
                     programs_done = programs_done.max(end);
                     self.stats.flash.gc_programs += 1;
+                    self.note_flash_op(TrafficClass::Gc, FlashOpKind::Program, die, end);
                     self.note_block_write(ppa);
                     batch.push((lpa, ppa));
                 }
@@ -1206,13 +1299,14 @@ impl<S: MappingScheme + Clone> Ssd<S> {
                 self.validity.invalidate(ppa);
             }
             for batch in &batches {
-                self.learn_and_mark(batch, true);
+                self.learn_and_mark(batch, true, TrafficClass::Gc);
             }
             migrated = batches.into_iter().flatten().collect();
         }
 
+        let victim_die = self.config.geometry.die_of_block(victim);
         let done = self.clock.schedule_after(
-            self.config.geometry.die_of_block(victim),
+            victim_die,
             reads_done.max(programs_done),
             self.config.timing.erase_ns,
         );
@@ -1221,6 +1315,7 @@ impl<S: MappingScheme + Clone> Ssd<S> {
         }
         self.device.erase(victim)?;
         self.stats.flash.erases += 1;
+        self.note_flash_op(TrafficClass::Gc, FlashOpKind::Erase, victim_die, done);
         self.validity.clear_block(victim);
         self.allocator.release(victim);
         // Journal the migration's re-installed mappings — captured
@@ -1282,12 +1377,20 @@ impl<S: MappingScheme + Clone> Ssd<S> {
         let shard = shard.min(self.clock.cpus() - 1);
         let sweep_ns = self.scheme.compact_cost_ns(shard);
         let (cost, compacted) = self.scheme.maintain_shard(shard);
-        self.charge_map_cost_background(Lpa::new(0), cost);
+        self.charge_map_cost_background(Lpa::new(0), cost, TrafficClass::Compact);
         if compacted {
             self.stats.compactions += 1;
         }
         let now = self.clock.now_ns();
-        Ok(self.clock.cpu_after(shard, now, sweep_ns))
+        let (_, done) = self.clock.cpu_reserve(shard, now, sweep_ns);
+        self.tracer.cpu_span(
+            shard,
+            "compact_sweep",
+            done,
+            sweep_ns,
+            TrafficClass::Compact,
+        );
+        Ok(done)
     }
 
     /// A block's current erase count (the background GC queue stamps
@@ -1367,11 +1470,11 @@ impl<S: MappingScheme + Clone> Ssd<S> {
         let mut deadline = self.clock.now_ns();
         for &ppa in &valid {
             let view = self.device.read(ppa)?;
-            let end = self
-                .clock
-                .schedule(self.config.geometry.die_of(ppa), self.config.timing.read_ns);
+            let die = self.config.geometry.die_of(ppa);
+            let end = self.clock.schedule(die, self.config.timing.read_ns);
             deadline = deadline.max(end);
             self.stats.flash.gc_reads += 1;
+            self.note_flash_op(TrafficClass::Gc, FlashOpKind::Read, die, end);
             items.push((view.lpa.expect("data page"), view.content, view.seq));
         }
         self.clock.wait_until(deadline);
@@ -1382,12 +1485,11 @@ impl<S: MappingScheme + Clone> Ssd<S> {
         for (offset, &(lpa, content)) in items.iter().enumerate() {
             let ppa = self.config.geometry.ppa(hot, offset as u32);
             self.device.program(ppa, content, Some(lpa))?;
-            let end = self.clock.schedule(
-                self.config.geometry.die_of(ppa),
-                self.config.timing.program_ns,
-            );
+            let die = self.config.geometry.die_of(ppa);
+            let end = self.clock.schedule(die, self.config.timing.program_ns);
             deadline = deadline.max(end);
             self.stats.flash.wear_programs += 1;
+            self.note_flash_op(TrafficClass::Gc, FlashOpKind::Program, die, end);
             self.note_block_write(ppa);
             batch.push((lpa, ppa));
         }
@@ -1395,15 +1497,14 @@ impl<S: MappingScheme + Clone> Ssd<S> {
         for &ppa in &valid {
             self.validity.invalidate(ppa);
         }
-        self.learn_and_mark(&batch, true);
+        self.learn_and_mark(&batch, true, TrafficClass::Gc);
 
-        let end = self.clock.schedule(
-            self.config.geometry.die_of_block(cold),
-            self.config.timing.erase_ns,
-        );
+        let cold_die = self.config.geometry.die_of_block(cold);
+        let end = self.clock.schedule(cold_die, self.config.timing.erase_ns);
         self.clock.wait_until(end);
         self.device.erase(cold)?;
         self.stats.flash.erases += 1;
+        self.note_flash_op(TrafficClass::Gc, FlashOpKind::Erase, cold_die, end);
         self.validity.clear_block(cold);
         self.allocator.release(cold);
         self.stats.wear_swaps += 1;
@@ -1461,8 +1562,9 @@ impl<S: MappingScheme + Clone> Ssd<S> {
         let pages = bytes.div_ceil(self.config.geometry.page_size as usize);
         for i in 0..pages {
             let die = Die::new((i % self.config.geometry.total_dies() as usize) as u32);
-            self.clock.schedule(die, self.config.timing.program_ns);
+            let end = self.clock.schedule(die, self.config.timing.program_ns);
             self.stats.flash.translation_programs += 1;
+            self.note_flash_op(TrafficClass::MapLog, FlashOpKind::Program, die, end);
         }
         let (write_ptrs, erase_counts) = self.capture_block_vectors();
         self.snapshot = Some(Snapshot {
@@ -1546,12 +1648,11 @@ impl<S: MappingScheme + Clone> Ssd<S> {
                 if self.allocator.is_open(block) || !self.translog.block_superseded(block, upto) {
                     continue;
                 }
-                self.clock.schedule(
-                    self.config.geometry.die_of_block(block),
-                    self.config.timing.erase_ns,
-                );
+                let die = self.config.geometry.die_of_block(block);
+                let end = self.clock.schedule(die, self.config.timing.erase_ns);
                 self.device.erase(block)?;
                 self.stats.flash.erases += 1;
+                self.note_flash_op(TrafficClass::MapLog, FlashOpKind::Erase, die, end);
                 self.translog.forget_block(block);
                 self.allocator.release(block);
                 if self.allocator.can_allocate(Stream::MapLog, 1) {
@@ -1574,6 +1675,7 @@ impl<S: MappingScheme + Clone> Ssd<S> {
             let Some(op) = self.translog.pop_op() else {
                 return Ok(None);
             };
+            let label = op.label();
             match op {
                 LogOp::Program { seq } => {
                     self.ensure_maplog_allocatable()?;
@@ -1583,11 +1685,10 @@ impl<S: MappingScheme + Clone> Ssd<S> {
                         .ok_or(SimError::DeviceFull)?;
                     let ppa = runs[0].ppas().next().expect("one-page run");
                     self.device.program(ppa, seq, None)?;
-                    let done = self.clock.schedule(
-                        self.config.geometry.die_of(ppa),
-                        self.config.timing.program_ns,
-                    );
+                    let die = self.config.geometry.die_of(ppa);
+                    let done = self.clock.schedule(die, self.config.timing.program_ns);
                     self.stats.flash.translation_programs += 1;
+                    self.note_flash_op(TrafficClass::MapLog, FlashOpKind::Program, die, done);
                     self.maplog_bytes_written += self.config.geometry.page_size as u64;
                     let block = self.config.geometry.block_of(ppa);
                     if self.translog.note_programmed(seq, block) {
@@ -1597,6 +1698,7 @@ impl<S: MappingScheme + Clone> Ssd<S> {
                         seq,
                         complete_ns: done,
                         reclaimed_block: false,
+                        label,
                     }));
                 }
                 LogOp::Reclaim { block, upto } => {
@@ -1610,18 +1712,18 @@ impl<S: MappingScheme + Clone> Ssd<S> {
                         self.translog.clear_reclaim_mark(block);
                         continue;
                     }
-                    let done = self.clock.schedule(
-                        self.config.geometry.die_of_block(block),
-                        self.config.timing.erase_ns,
-                    );
+                    let die = self.config.geometry.die_of_block(block);
+                    let done = self.clock.schedule(die, self.config.timing.erase_ns);
                     self.device.erase(block)?;
                     self.stats.flash.erases += 1;
+                    self.note_flash_op(TrafficClass::MapLog, FlashOpKind::Erase, die, done);
                     self.translog.forget_block(block);
                     self.allocator.release(block);
                     return Ok(Some(MapLogDispatch {
                         seq: upto,
                         complete_ns: done,
                         reclaimed_block: true,
+                        label,
                     }));
                 }
             }
@@ -1754,6 +1856,7 @@ impl<S: MappingScheme + Clone> Ssd<S> {
                 let end = self.clock.schedule(die, self.config.timing.read_ns);
                 deadline = deadline.max(end);
                 self.stats.flash.translation_reads += 1;
+                self.note_flash_op(TrafficClass::MapLog, FlashOpKind::Read, die, end);
                 if let Some(view) = self.device.peek(ppa) {
                     if view.lpa.is_none() {
                         *found.entry(view.content).or_insert(0) += 1;
@@ -1878,6 +1981,7 @@ impl<S: MappingScheme + Clone> Ssd<S> {
                 let end = self.clock.schedule(die, self.config.timing.read_ns);
                 deadline = deadline.max(end);
                 self.stats.flash.translation_reads += 1;
+                self.note_flash_op(TrafficClass::MapLog, FlashOpKind::Read, die, end);
                 if let Some(lpa) = lpa {
                     entries.push((seq, lpa, ppa));
                 }
@@ -1927,7 +2031,9 @@ impl<S: MappingScheme + Clone> Ssd<S> {
                     self.validity.invalidate(hit.ppa);
                 } else {
                     let floor = self.clock.now_ns();
-                    if let Ok((old, _, _, ready)) = self.resolve_read_at(lpa, &hit, false, floor) {
+                    if let Ok((old, _, _, ready)) =
+                        self.resolve_read_at(lpa, &hit, false, floor, TrafficClass::MapLog)
+                    {
                         self.clock.wait_until(ready);
                         self.validity.invalidate(old);
                     }
@@ -1962,6 +2068,8 @@ pub(crate) struct MapLogDispatch {
     pub complete_ns: u64,
     /// True for reclaim erases — the op returned a block to the pool.
     pub reclaimed_block: bool,
+    /// Trace-span name of the dispatched op.
+    pub label: &'static str,
 }
 
 #[cfg(test)]

@@ -3,11 +3,14 @@
 
 use serde::{Deserialize, Serialize};
 
-/// Log-spaced latency histogram with exact aggregate moments.
+/// Log-linear latency histogram with exact aggregate moments.
 ///
-/// Buckets are geometric between 100 ns and ~100 ms, which covers the
-/// paper's Fig. 18 range (10⁰–10³ µs). Percentile queries use the
-/// bucket upper bound (conservative).
+/// Each decade between 100 ns and 10⁷ s splits into [`SUB_BUCKETS`]
+/// linear sub-buckets, so a reported percentile is tight to within
+/// 1/8 of a decade instead of rounding to the decade edge ("p99 =
+/// 10000 µs" meaning "somewhere below 10 ms"). Bucket boundaries use
+/// pure integer arithmetic, so placement is exact and deterministic.
+/// Percentile queries use the bucket upper bound (conservative).
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct LatencyHistogram {
     buckets: Vec<u64>,
@@ -17,10 +20,13 @@ pub struct LatencyHistogram {
     max_ns: u64,
 }
 
-const BUCKETS: usize = 140;
-const BASE_NS: f64 = 100.0;
-/// Geometric growth per bucket: 10 buckets per decade.
-const GROWTH: f64 = 1.2589254117941673; // 10^(1/10)
+/// Linear sub-buckets per decade.
+const SUB_BUCKETS: usize = 8;
+/// Decades covered: [100 ns, 100 ns × 10¹⁴).
+const DECADES: usize = 14;
+const BUCKETS: usize = DECADES * SUB_BUCKETS;
+/// Lower bound of the first decade.
+const BASE_NS: u64 = 100;
 
 impl LatencyHistogram {
     /// An empty histogram.
@@ -35,15 +41,28 @@ impl LatencyHistogram {
     }
 
     fn bucket_of(ns: u64) -> usize {
-        if (ns as f64) <= BASE_NS {
+        if ns <= BASE_NS {
             return 0;
         }
-        let idx = ((ns as f64) / BASE_NS).log(GROWTH).floor() as usize;
-        idx.min(BUCKETS - 1)
+        let mut lower = BASE_NS;
+        let mut decade = 0usize;
+        while decade + 1 < DECADES && ns >= lower * 10 {
+            lower *= 10;
+            decade += 1;
+        }
+        if ns >= lower * 10 {
+            return BUCKETS - 1;
+        }
+        // Sub-bucket `s` covers lower + 9·lower·[s, s+1)/SUB_BUCKETS.
+        let sub = ((ns - lower) * SUB_BUCKETS as u64 / (9 * lower)) as usize;
+        decade * SUB_BUCKETS + sub.min(SUB_BUCKETS - 1)
     }
 
     fn bucket_upper_ns(idx: usize) -> u64 {
-        (BASE_NS * GROWTH.powi(idx as i32 + 1)) as u64
+        let decade = idx / SUB_BUCKETS;
+        let sub = idx % SUB_BUCKETS;
+        let lower = BASE_NS * 10u64.pow(decade as u32);
+        lower + 9 * lower * (sub as u64 + 1) / SUB_BUCKETS as u64
     }
 
     /// Records one sample.
@@ -293,6 +312,32 @@ mod tests {
         let p999 = h.percentile_ns(99.9);
         assert!(p50 <= p99 && p99 <= p999);
         assert!(p50 >= 400_000 && p50 <= 650_000, "p50 = {p50}");
+    }
+
+    #[test]
+    fn log_linear_buckets_are_tight_and_ordered() {
+        // Upper bounds strictly increase and each sample lands in a
+        // bucket whose bound contains it.
+        for idx in 1..BUCKETS {
+            assert!(
+                LatencyHistogram::bucket_upper_ns(idx) > LatencyHistogram::bucket_upper_ns(idx - 1)
+            );
+        }
+        let mut ns = 1u64;
+        while ns < 10u64.pow(12) {
+            assert!(ns <= LatencyHistogram::bucket_upper_ns(LatencyHistogram::bucket_of(ns)));
+            ns = ns * 7 / 3 + 1;
+        }
+        // A p99 near 5 ms no longer rounds up to the decade edge: the
+        // bound is within 1/8 decade of the sample even when the max
+        // sits a decade higher.
+        let mut h = LatencyHistogram::new();
+        for _ in 0..100 {
+            h.record(5_000_000);
+        }
+        h.record(20_000_000);
+        let p99 = h.percentile_ns(99.0);
+        assert_eq!(p99, 5_500_000, "p99 = {p99} still decade-rounded");
     }
 
     #[test]

@@ -58,6 +58,16 @@ pub(crate) enum LogOp {
     },
 }
 
+impl LogOp {
+    /// Stable trace-span name for this operation.
+    pub(crate) fn label(&self) -> &'static str {
+        match self {
+            LogOp::Program { .. } => "maplog_program",
+            LogOp::Reclaim { .. } => "maplog_reclaim",
+        }
+    }
+}
+
 /// What a log entry carries.
 #[derive(Debug, Clone)]
 pub(crate) enum LogPayload<S> {

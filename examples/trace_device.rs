@@ -1,0 +1,113 @@
+//! Emit a Perfetto timeline of a GC-saturated device and show the
+//! pacing control plane at work.
+//!
+//! ```text
+//! cargo run --release --example trace_device [out.json]
+//! ```
+//!
+//! The run colocates an SLO reader with two GC bullies on a small,
+//! heavily pre-aged device, with background GC paced to one in-flight
+//! migration by the QoS controller. Open the written file at
+//! <https://ui.perfetto.dev>:
+//!
+//! * the **queues** process shows the `gc_migrate` spans *trickling*
+//!   out one at a time between host reads — the mega-round pacing —
+//!   instead of a solid block of back-to-back migrations,
+//! * each **die** track alternates host reads with migration
+//!   read/program bursts and the occasional long erase,
+//! * the **control** track carries `gc_select`, `qos_tick`,
+//!   `admission_defer`/`admission_resume` and `gc_stall` instants.
+
+use leaftl_repro::core::LeaFtlConfig;
+use leaftl_repro::sim::{
+    replay_open_loop_with, validate_chrome_trace, DeviceConfig, LeaFtlScheme, QosControllerConfig,
+    QosSpec, Slo, Ssd, SsdConfig, TrafficClass, Weighted,
+};
+use leaftl_repro::workloads::{gc_bully, multi_tenant_trace, slo_reader, warmup_ops, TenantSpec};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let out = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "trace_device.json".to_string());
+
+    // A small device with little over-provisioning headroom: the
+    // bullies keep it collecting at the watermark for the whole run.
+    let mut config = SsdConfig::small_test();
+    config.op_ratio = 0.5;
+    config.gc_low_watermark = 0.30;
+    config.gc_high_watermark = 0.40;
+    config.gc_hard_floor = 0.10;
+    let logical = config.logical_pages();
+    let mut ssd = Ssd::new(
+        config,
+        LeaFtlScheme::new(LeaFtlConfig::default().with_compaction_interval(300)),
+    );
+
+    // Pre-age: two full overwrites leave every block part-stale.
+    for ops in [warmup_ops(logical, 1.0), warmup_ops(logical, 1.0)] {
+        for op in ops {
+            if let leaftl_repro::sim::HostOp::Write { lpa, pages } = op {
+                for i in 0..pages as u64 {
+                    ssd.write(
+                        leaftl_repro::flash::Lpa::new((lpa.raw() + i) % logical),
+                        i + 1,
+                    )?;
+                }
+            }
+        }
+    }
+    ssd.flush()?;
+    ssd.reset_stats();
+
+    // One guaranteed reader between two GC bullies.
+    let tenants = vec![
+        TenantSpec::new(slo_reader(), 0, 120_000, 600).with_slo(Slo::guaranteed(20_000.0)),
+        TenantSpec::new(gc_bully(), 1, 60_000, 900),
+        TenantSpec::new(gc_bully(), 2, 60_000, 900),
+    ];
+    let slos: Vec<Slo> = tenants.iter().map(|t| t.slo).collect();
+    let trace = multi_tenant_trace(&tenants, logical, 0x1ea_f71);
+
+    // The PR-8 pacing knob: at most one in-flight migration, so the
+    // watermark-refill backlog trickles onto the timeline instead of
+    // monopolising every die in one mega-round.
+    let ctrl = QosControllerConfig {
+        control_interval_ns: 5_000_000,
+        gc_pacing_limit: 1,
+        ..QosControllerConfig::default()
+    };
+    let device = DeviceConfig::new(tenants.len(), 16)
+        .background_gc()
+        .with_arbiter(Box::new(Weighted::new(vec![1; tenants.len()], 1)))
+        .with_qos(QosSpec::new(slos).with_controller(ctrl))
+        .with_trace();
+
+    let report = replay_open_loop_with(&mut ssd, trace, device)?;
+    let sink = ssd.take_trace().expect("tracing was enabled");
+    let json = sink.export_chrome_json();
+    let check = validate_chrome_trace(&json).expect("exporter emits valid traces");
+    std::fs::write(&out, &json)?;
+
+    println!(
+        "wrote {out}: {} events across {} die tracks ({} queue spans, {} control instants)",
+        check.events, check.die_tracks, check.queue_events, check.control_events
+    );
+    println!(
+        "replay: {} paced GC migrations dispatched, reader p99 {:.0} µs, elapsed {:.1} ms",
+        report.gc_dispatched,
+        report.per_stream[0].latency.percentile_ns(99.0) as f64 / 1000.0,
+        report.elapsed_ns as f64 / 1e6
+    );
+    println!("\nper-die busy time by traffic class:");
+    let util = &report.utilization;
+    for class in TrafficClass::ALL {
+        println!(
+            "  {:8} {:>12} ns  ({:>5.1}%)",
+            class.label(),
+            util.class_busy_ns(class),
+            util.class_share(class) * 100.0
+        );
+    }
+    println!("\nopen {out} at https://ui.perfetto.dev to see the paced timeline");
+    Ok(())
+}
