@@ -18,6 +18,8 @@
 //! trace-event JSON to `<path>` — open it at <https://ui.perfetto.dev>.
 //! `trace-check <path>` validates such a file (CI smoke).
 
+#![forbid(unsafe_code)]
+
 mod common;
 mod experiments;
 

@@ -58,7 +58,7 @@
 //! (DFTL/SFTL) and `leaftl-bench` (paper experiments) build on this one.
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 mod config;
 pub mod crb;

@@ -1,0 +1,173 @@
+//! The `lint.toml` allowlist: the one sanctioned way to keep a flagged
+//! site.
+//!
+//! The file is a minimal TOML subset — `[[allow]]` array-of-tables with
+//! string key/values and `#` comments — parsed by hand because the
+//! container has no TOML crate. Every entry **must** carry a one-line
+//! `reason`: an allowlist without justifications degenerates into a
+//! mute button, and the CI gate rejects the config outright if a reason
+//! is missing or empty. Entries that stop matching anything are
+//! reported as *stale* and fail the gate too, so the file can only ever
+//! shrink alongside the code it excuses.
+//!
+//! ```toml
+//! [[allow]]
+//! rule = "P1"
+//! path = "crates/core/src/shards.rs"
+//! pattern = "lock().expect"
+//! reason = "mutex poisoning implies a sibling panic; propagating is intended"
+//! ```
+//!
+//! Matching: `rule` must equal the finding's rule id, `path` must be a
+//! suffix of the finding's file path, and `pattern` must be a substring
+//! of the flagged source line — patterns anchor to code text rather
+//! than line numbers so entries survive unrelated edits above them.
+
+use crate::rules::Finding;
+
+/// One `[[allow]]` entry.
+#[derive(Debug, Clone)]
+pub struct AllowEntry {
+    /// Rule id the entry silences.
+    pub rule: String,
+    /// Path suffix the entry applies to.
+    pub path: String,
+    /// Substring of the flagged line.
+    pub pattern: String,
+    /// The mandatory one-line justification.
+    pub reason: String,
+    /// `lint.toml` line of the `[[allow]]` header (for diagnostics).
+    pub defined_at: usize,
+}
+
+/// The parsed allowlist plus per-entry use counts.
+#[derive(Debug, Default)]
+pub struct Allowlist {
+    /// Entries in file order.
+    pub entries: Vec<AllowEntry>,
+}
+
+impl Allowlist {
+    /// An empty allowlist (fixture tests).
+    pub fn empty() -> Self {
+        Allowlist::default()
+    }
+
+    /// Parses the `lint.toml` text. Fails on unknown keys, non-string
+    /// values, or entries missing `rule`/`path`/`pattern`/`reason`.
+    pub fn parse(text: &str) -> Result<Self, String> {
+        let mut entries: Vec<AllowEntry> = Vec::new();
+        let mut current: Option<(usize, AllowEntry)> = None;
+        for (idx, raw_line) in text.lines().enumerate() {
+            let line_no = idx + 1;
+            let line = raw_line.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            if line == "[[allow]]" {
+                if let Some((at, entry)) = current.take() {
+                    entries.push(validate(entry, at)?);
+                }
+                current = Some((
+                    line_no,
+                    AllowEntry {
+                        rule: String::new(),
+                        path: String::new(),
+                        pattern: String::new(),
+                        reason: String::new(),
+                        defined_at: line_no,
+                    },
+                ));
+                continue;
+            }
+            if line.starts_with('[') {
+                return Err(format!(
+                    "lint.toml:{line_no}: unknown table `{line}` (only [[allow]] is supported)"
+                ));
+            }
+            let Some((key, value)) = line.split_once('=') else {
+                return Err(format!("lint.toml:{line_no}: expected `key = \"value\"`"));
+            };
+            let key = key.trim();
+            let value = value.trim();
+            let value = value
+                .strip_prefix('"')
+                .and_then(|v| v.strip_suffix('"'))
+                .ok_or_else(|| {
+                    format!("lint.toml:{line_no}: value for `{key}` must be a double-quoted string")
+                })?;
+            let value = unescape(value)
+                .map_err(|e| format!("lint.toml:{line_no}: value for `{key}`: {e}"))?;
+            let value = value.as_str();
+            let Some((_, entry)) = current.as_mut() else {
+                return Err(format!(
+                    "lint.toml:{line_no}: `{key}` outside an [[allow]] entry"
+                ));
+            };
+            match key {
+                "rule" => entry.rule = value.to_string(),
+                "path" => entry.path = value.to_string(),
+                "pattern" => entry.pattern = value.to_string(),
+                "reason" => entry.reason = value.to_string(),
+                other => {
+                    return Err(format!(
+                        "lint.toml:{line_no}: unknown key `{other}` \
+                         (expected rule/path/pattern/reason)"
+                    ));
+                }
+            }
+        }
+        if let Some((at, entry)) = current.take() {
+            entries.push(validate(entry, at)?);
+        }
+        Ok(Allowlist { entries })
+    }
+
+    /// Whether `finding` is covered by some entry; returns its index.
+    pub fn matches(&self, finding: &Finding) -> Option<usize> {
+        self.entries.iter().position(|e| {
+            e.rule == finding.rule
+                && finding.file.ends_with(&e.path)
+                && finding.snippet.contains(&e.pattern)
+        })
+    }
+}
+
+/// Resolves the TOML basic-string escapes a pattern can need (`\"` and
+/// `\\`); anything else after a backslash is rejected rather than
+/// silently kept, so a typo can't turn into a never-matching pattern.
+fn unescape(value: &str) -> Result<String, String> {
+    let mut out = String::with_capacity(value.len());
+    let mut chars = value.chars();
+    while let Some(c) = chars.next() {
+        if c != '\\' {
+            out.push(c);
+            continue;
+        }
+        match chars.next() {
+            Some('"') => out.push('"'),
+            Some('\\') => out.push('\\'),
+            Some(other) => return Err(format!("unsupported escape `\\{other}`")),
+            None => return Err("trailing `\\`".to_string()),
+        }
+    }
+    Ok(out)
+}
+
+fn validate(entry: AllowEntry, at: usize) -> Result<AllowEntry, String> {
+    for (field, value) in [
+        ("rule", &entry.rule),
+        ("path", &entry.path),
+        ("pattern", &entry.pattern),
+        ("reason", &entry.reason),
+    ] {
+        if value.trim().is_empty() {
+            return Err(format!(
+                "lint.toml:{at}: [[allow]] entry is missing `{field}` — every \
+                 allowlist entry must carry a rule, a path, a pattern and a \
+                 one-line justification"
+            ));
+        }
+    }
+    Ok(entry)
+}

@@ -1,0 +1,126 @@
+//! CLI for the workspace linter: `cargo run -p leaftl-lint -- check`.
+//!
+//! Exit codes: `0` clean, `1` unallowlisted findings or stale allowlist
+//! entries, `2` usage/config error. The JSON report is written on every
+//! run (clean or not) so CI always ships `results/lint.json` with the
+//! experiment artifacts.
+
+#![forbid(unsafe_code)]
+
+use std::env;
+use std::fs;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = env::args().skip(1).collect();
+    let mut root: Option<PathBuf> = None;
+    let mut out_path = PathBuf::from("results/lint.json");
+    let mut command: Option<String> = None;
+    let mut it = args.into_iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--root" => match it.next() {
+                Some(v) => root = Some(PathBuf::from(v)),
+                None => return usage("--root needs a path"),
+            },
+            "--out" => match it.next() {
+                Some(v) => out_path = PathBuf::from(v),
+                None => return usage("--out needs a path"),
+            },
+            "check" if command.is_none() => command = Some(arg),
+            other => return usage(&format!("unknown argument `{other}`")),
+        }
+    }
+    if command.as_deref() != Some("check") {
+        return usage("expected the `check` subcommand");
+    }
+
+    let root = match root.map(Ok).unwrap_or_else(find_workspace_root) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("leaftl-lint: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    let report = match leaftl_lint::run(&root) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("leaftl-lint: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    let out_abs = if out_path.is_absolute() {
+        out_path
+    } else {
+        root.join(out_path)
+    };
+    if let Some(dir) = out_abs.parent() {
+        let _ = fs::create_dir_all(dir);
+    }
+    if let Err(e) = fs::write(&out_abs, report.to_json()) {
+        eprintln!("leaftl-lint: writing {}: {e}", out_abs.display());
+        return ExitCode::from(2);
+    }
+
+    for (f, reason) in &report.allowed {
+        println!(
+            "allowed   {}:{} [{}] {} ({reason})",
+            f.file, f.line, f.rule, f.snippet
+        );
+    }
+    for f in &report.violations {
+        println!("VIOLATION {}:{} [{}]", f.file, f.line, f.rule);
+        println!("    {}", f.snippet);
+        println!("    {}", f.message);
+    }
+    for e in &report.stale_allows {
+        println!(
+            "STALE     lint.toml:{} [{}] pattern {:?} matches nothing — remove it",
+            e.defined_at, e.rule, e.pattern
+        );
+    }
+    println!(
+        "leaftl-lint: {} files, {} violations, {} allowed, {} stale allowlist entries -> {}",
+        report.files_scanned,
+        report.violations.len(),
+        report.allowed.len(),
+        report.stale_allows.len(),
+        out_abs.display()
+    );
+    if report.clean() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(1)
+    }
+}
+
+/// Walks upward from the current directory to the directory holding the
+/// workspace `Cargo.toml` (the one declaring `[workspace]`).
+fn find_workspace_root() -> Result<PathBuf, String> {
+    let mut dir = env::current_dir().map_err(|e| e.to_string())?;
+    loop {
+        let manifest = dir.join("Cargo.toml");
+        if manifest.exists() {
+            let text = fs::read_to_string(&manifest).map_err(|e| e.to_string())?;
+            if text.contains("[workspace]") {
+                return Ok(dir);
+            }
+        }
+        if !dir.pop() {
+            return Err(
+                "no workspace Cargo.toml found walking up from the current directory; \
+                 pass --root <path>"
+                    .to_string(),
+            );
+        }
+    }
+}
+
+fn usage(err: &str) -> ExitCode {
+    eprintln!("leaftl-lint: {err}");
+    eprintln!("usage: leaftl-lint check [--root <workspace>] [--out <json path>]");
+    ExitCode::from(2)
+}

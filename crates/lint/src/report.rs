@@ -1,0 +1,123 @@
+//! The machine-readable findings report (`results/lint.json`).
+//!
+//! Serialisation is hand-rolled (the vendored serde_json stub is
+//! derive-driven and this crate deliberately has zero dependencies) and
+//! deterministic: files are walked in sorted order and findings are
+//! sorted by (file, line, rule), so two runs over the same tree produce
+//! byte-identical reports — the linter holds itself to the determinism
+//! contract it enforces.
+
+use crate::allowlist::AllowEntry;
+use crate::rules::Finding;
+
+/// The outcome of one lint run over the workspace.
+#[derive(Debug, Default)]
+pub struct RunReport {
+    /// Files scanned, workspace-relative, sorted.
+    pub files_scanned: usize,
+    /// Findings not covered by the allowlist — these fail the gate.
+    pub violations: Vec<Finding>,
+    /// Findings covered by an allowlist entry, with the entry's reason.
+    pub allowed: Vec<(Finding, String)>,
+    /// Allowlist entries that matched nothing — these fail the gate
+    /// too (the allowlist may only excuse code that still exists).
+    pub stale_allows: Vec<AllowEntry>,
+}
+
+impl RunReport {
+    /// Whether the gate passes.
+    pub fn clean(&self) -> bool {
+        self.violations.is_empty() && self.stale_allows.is_empty()
+    }
+
+    /// Renders the report as pretty-printed JSON.
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(4096);
+        out.push_str("{\n");
+        out.push_str("  \"tool\": \"leaftl-lint\",\n");
+        out.push_str("  \"summary\": {\n");
+        out.push_str(&format!(
+            "    \"files_scanned\": {},\n    \"violations\": {},\n    \
+             \"allowed\": {},\n    \"stale_allows\": {},\n    \"clean\": {}\n  }},\n",
+            self.files_scanned,
+            self.violations.len(),
+            self.allowed.len(),
+            self.stale_allows.len(),
+            self.clean()
+        ));
+        out.push_str("  \"violations\": [\n");
+        push_findings(&mut out, self.violations.iter().map(|f| (f, None)));
+        out.push_str("  ],\n");
+        out.push_str("  \"allowed\": [\n");
+        push_findings(
+            &mut out,
+            self.allowed.iter().map(|(f, r)| (f, Some(r.as_str()))),
+        );
+        out.push_str("  ],\n");
+        out.push_str("  \"stale_allows\": [\n");
+        for (i, e) in self.stale_allows.iter().enumerate() {
+            out.push_str(&format!(
+                "    {{\"rule\": {}, \"path\": {}, \"pattern\": {}, \"reason\": {}, \
+                 \"defined_at\": {}}}{}\n",
+                json_str(&e.rule),
+                json_str(&e.path),
+                json_str(&e.pattern),
+                json_str(&e.reason),
+                e.defined_at,
+                comma(i, self.stale_allows.len())
+            ));
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+}
+
+fn push_findings<'a>(
+    out: &mut String,
+    findings: impl ExactSizeIterator<Item = (&'a Finding, Option<&'a str>)>,
+) {
+    let len = findings.len();
+    for (i, (f, reason)) in findings.enumerate() {
+        let reason_field = reason
+            .map(|r| format!(", \"reason\": {}", json_str(r)))
+            .unwrap_or_default();
+        out.push_str(&format!(
+            "    {{\"rule\": {}, \"file\": {}, \"line\": {}, \"snippet\": {}, \
+             \"message\": {}{}}}{}\n",
+            json_str(f.rule),
+            json_str(&f.file),
+            f.line,
+            json_str(&f.snippet),
+            json_str(&f.message),
+            reason_field,
+            comma(i, len)
+        ));
+    }
+}
+
+fn comma(i: usize, len: usize) -> &'static str {
+    if i + 1 < len {
+        ","
+    } else {
+        ""
+    }
+}
+
+/// Escapes a string as a JSON string literal.
+pub fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}

@@ -135,7 +135,7 @@ impl SimClock {
         let started = self.now_ns;
         let end = self.schedule(die, latency_ns);
         self.wait_until(end);
-        self.now_ns - started
+        self.now_ns.saturating_sub(started)
     }
 
     /// When `die` next falls idle (tests and instrumentation).

@@ -1263,7 +1263,7 @@ impl<'a, S: MappingScheme + Clone> Device<'a, S> {
                         {
                             batch.push(self.queues[queue].pending.pop_front().expect("non-empty"));
                         }
-                        _ => break,
+                        Some(_) | None => break,
                     }
                 }
                 self.consume_budget(batch.len() as u64);
@@ -1326,7 +1326,12 @@ impl<'a, S: MappingScheme + Clone> Device<'a, S> {
                 Command::Read { .. } => "read",
                 Command::Write { .. } => "write",
                 Command::Flush => "flush",
-                _ => "host",
+                // Background commands never reach a host queue (rejected
+                // at submit), but a track name keeps the span valid if
+                // that ever changes.
+                Command::GcMigrate { .. } | Command::Compact { .. } | Command::MapLog { .. } => {
+                    "host"
+                }
             };
             let tracer = self.ssd.tracer_mut();
             if dispatch_ns > req.arrival_ns {

@@ -659,8 +659,8 @@ impl<S: MappingScheme + Clone> Ssd<S> {
             else {
                 unreachable!("grant_order holds flash outcomes only");
             };
-            let (_, cpu_done) = self.clock.cpu_reserve(*shard, ready[index], *cpu_ns);
-            self.stats.translation_stall_ns += cpu_done - cpu_ns - ready[index];
+            let (cpu_start, cpu_done) = self.clock.cpu_reserve(*shard, ready[index], *cpu_ns);
+            self.stats.translation_stall_ns += cpu_start.saturating_sub(ready[index]);
             self.tracer
                 .cpu_span(*shard, "lookup", cpu_done, *cpu_ns, TrafficClass::Host);
             ready[index] = self.schedule_probes(probes, cpu_done, TrafficClass::Host);
@@ -723,8 +723,8 @@ impl<S: MappingScheme + Clone> Ssd<S> {
         let cpu_ns = self.config.lookup_base_ns
             + self.config.lookup_per_level_ns * hit.levels_visited.saturating_sub(1) as u64;
         let shard = self.scheme.shard_of(lpa).min(self.clock.cpus() - 1);
-        let (_, cpu_done) = self.clock.cpu_reserve(shard, ready, cpu_ns);
-        self.stats.translation_stall_ns += cpu_done - cpu_ns - ready;
+        let (cpu_start, cpu_done) = self.clock.cpu_reserve(shard, ready, cpu_ns);
+        self.stats.translation_stall_ns += cpu_start.saturating_sub(ready);
         self.tracer
             .cpu_span(shard, "lookup", cpu_done, cpu_ns, TrafficClass::Host);
         ready = cpu_done;
@@ -1179,7 +1179,8 @@ impl<S: MappingScheme + Clone> Ssd<S> {
                 },
                 GcPolicy::CostBenefit => {
                     let u = valid as f64 / self.config.geometry.pages_per_block as f64;
-                    let age = (now - self.block_last_write_ns[raw as usize]) as f64 + 1.0;
+                    let age =
+                        now.saturating_sub(self.block_last_write_ns[raw as usize]) as f64 + 1.0;
                     let score = age * (1.0 - u) / (1.0 + u);
                     match best_cb {
                         Some((best, _)) if best >= score => {}
@@ -1430,12 +1431,12 @@ impl<S: MappingScheme + Clone> Ssd<S> {
             let is_erased = self.device.block(block).is_erased();
             if is_erased {
                 // Candidate hot free block.
-                if hot_free.is_none() || erases > hot_free.expect("checked").0 {
+                if hot_free.map_or(true, |(worst, _)| erases > worst) {
                     hot_free = Some((erases, block));
                 }
             } else if !self.allocator.is_open(block)
                 && self.validity.valid_count(block) > 0
-                && (min.is_none() || erases < min.expect("checked").0)
+                && min.map_or(true, |(best, _)| erases < best)
             {
                 // Fully stale blocks are GC's job, not a wear swap's:
                 // "moving" them would program nothing and strand the
@@ -1821,7 +1822,7 @@ impl<S: MappingScheme + Clone> Ssd<S> {
             recovered_pages,
             lost_buffered_writes,
             maplog_bytes_written: self.maplog_bytes_written,
-            scan_time_ns: self.clock.now_ns() - scan_start_ns,
+            scan_time_ns: self.clock.now_ns().saturating_sub(scan_start_ns),
         })
     }
 
@@ -1958,7 +1959,7 @@ impl<S: MappingScheme + Clone> Ssd<S> {
             recovered_pages,
             lost_buffered_writes,
             maplog_bytes_written: self.maplog_bytes_written,
-            scan_time_ns: self.clock.now_ns() - scan_start_ns,
+            scan_time_ns: self.clock.now_ns().saturating_sub(scan_start_ns),
         })
     }
 
